@@ -1,0 +1,163 @@
+"""Fig 10 — distributed CLIP training on LAION-400M across clouds:
+GPU utilization of 16 A100s streaming cross-region (AWS us-east ->
+GCP us-central), plus the §6.5 ingestion story (100 h download vs 6 h
+ingest into 1.9 TB of TSF).
+
+The analytic pipeline model runs at paper scale (virtual time); the
+loader-level sharding is exercised separately by the real dataloader on a
+scaled dataset.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import print_table, scaled
+from repro.sim import AccessMode, GPUModel, NETWORK_PRESETS, \
+    TrainingPipelineSim
+from repro.sim.training import WorkloadSpec
+
+#: LAION-400M in TSF: 1.9 TB / 400M pairs ~= 4.75 KB per encoded pair
+LAION = WorkloadSpec(
+    n_samples=400_000_000,
+    bytes_per_sample=4_750,
+    files_per_sample=1.0,
+    decode_time_per_sample_s=0.0004,
+)
+N_GPUS = 16
+
+
+def test_fig10_gpu_utilization(benchmark):
+    sim = TrainingPipelineSim(
+        LAION,
+        NETWORK_PRESETS["cross-region"],
+        GPUModel.a100_clip_1b(batch_size=96),
+        n_gpus=N_GPUS,
+        num_workers=16,
+    )
+    result = benchmark.pedantic(
+        lambda: sim.run_epoch(AccessMode.DEEPLAKE_STREAM),
+        rounds=1, iterations=1,
+    )
+
+    # utilization timeline per GPU (the colored curves of Fig 10)
+    timelines = np.stack([t.timeline(n_points=20) for t in result.traces])
+    rows = [{
+        "gpus": N_GPUS,
+        "img_per_s_total": round(result.images_per_second),
+        "img_per_s_per_gpu": round(result.images_per_second / N_GPUS, 1),
+        "gpu_util_pct": round(100 * result.gpu_utilization, 1),
+        "util_p10_pct": round(100 * float(np.percentile(timelines, 10)), 1),
+        "util_p90_pct": round(100 * float(np.percentile(timelines, 90)), 1),
+    }]
+    print_table(
+        "Fig 10 | CLIP-1B on 16xA100, LAION-400M streamed cross-region",
+        rows,
+        note="paper: ~5,100 img/s into 16 A100s at high sustained "
+             "utilization",
+    )
+    # paper reports 5,100 img/s with the model in the loop; the model-bound
+    # ceiling is 16 * 320 = 5,120 img/s, so utilization must be high
+    assert result.images_per_second > 4000
+    assert result.gpu_utilization > 0.75
+
+
+def test_fig10_no_model_ceiling(benchmark):
+    """Without a model, one machine's loader peaks at the network's
+    bandwidth-bound rate (paper: up to 80,000 img/s per machine in-region)."""
+    sim = TrainingPipelineSim(
+        LAION,
+        NETWORK_PRESETS["s3"],  # same-region, as in the paper's aside
+        GPUModel(name="none", step_time_s=1e-7, batch_size=96),
+        n_gpus=1,
+        num_workers=64,
+        cpu_workers=48,  # decode fleet of a loader-only machine
+    )
+    result = benchmark.pedantic(
+        lambda: sim.run_epoch(AccessMode.DEEPLAKE_STREAM),
+        rounds=1, iterations=1,
+    )
+    rows = [{
+        "mode": "loader only (no model)",
+        "img_per_s": round(result.images_per_second),
+        "bandwidth_MBps": round(
+            result.images_per_second * LAION.bytes_per_sample / 1e6
+        ),
+    }]
+    print_table(
+        "Fig 10 (aside) | no-model streaming ceiling, one machine, "
+        "same region",
+        rows,
+        note="paper: up to 80,000 img/s per machine",
+    )
+    assert result.images_per_second > 40_000
+
+
+def test_laion_ingestion_ratio(benchmark):
+    """§6.5: downloading 400M URL-addressed images took 100 h; ingesting
+    into TSF took 6 h.  Model both phases in virtual time: per-URL
+    request-bound download vs chunked bandwidth-bound ingest."""
+    net = NETWORK_PRESETS["s3"]
+    parallelism = 512  # the download fleet's concurrent connections
+
+    def phases():
+        # request latencies parallelise across connections; the pipe's
+        # aggregate bandwidth does not
+        def time_for(nbytes, n_requests):
+            latency = n_requests * (net.request_overhead_s + net.latency_s)
+            return latency / parallelism + nbytes / net.bandwidth_bps
+
+        download_s = time_for(
+            LAION.n_samples * 20_000,  # raw web images avg ~20 KB
+            LAION.n_samples,  # one HTTP request per URL
+        )
+        chunks = LAION.n_samples * LAION.bytes_per_sample // (16 << 20)
+        ingest_s = time_for(
+            LAION.n_samples * LAION.bytes_per_sample, max(1, chunks)
+        )
+        return download_s, ingest_s
+
+    download_s, ingest_s = benchmark.pedantic(phases, rounds=1, iterations=1)
+    rows = [{
+        "phase": "download from URLs", "hours": round(download_s / 3600, 1),
+    }, {
+        "phase": "ingest to TSF", "hours": round(ingest_s / 3600, 1),
+    }, {
+        "phase": "ratio", "hours": round(download_s / ingest_s, 1),
+    }]
+    print_table(
+        "§6.5 | LAION-400M acquisition phases (virtual hours)",
+        rows,
+        note="paper: 100 h download vs 6 h ingest (~17x)",
+    )
+    assert download_s / ingest_s > 5
+
+
+def test_distributed_loader_shards(benchmark, rng):
+    """The real dataloader's rank sharding at reduced scale: disjoint
+    shards, equal steps, full coverage (the mechanism Fig 10 relies on)."""
+    n = scaled(128, minimum=32)
+    ds = repro.empty("mem://fig10", overwrite=True)
+    ds.create_tensor("images", htype="image", sample_compression="jpeg",
+                     create_shape_tensor=False, create_id_tensor=False)
+    ds.create_tensor("labels", htype="class_label",
+                     create_shape_tensor=False, create_id_tensor=False)
+    for i in range(n):
+        ds.append({
+            "images": rng.integers(0, 255, (32, 32, 3), dtype=np.uint8),
+            "labels": np.int32(i),
+        })
+    ds.flush()
+
+    def all_ranks():
+        world = 8
+        seen = []
+        for rank in range(world):
+            loader = ds.dataloader(batch_size=4, shuffle=True, seed=3,
+                                   distributed=(rank, world))
+            for batch in loader:
+                seen.extend(int(x) for x in np.ravel(batch["labels"]))
+        return seen
+
+    seen = benchmark.pedantic(all_ranks, rounds=1, iterations=1)
+    assert len(seen) == len(set(seen)) == n

@@ -1,0 +1,127 @@
+"""Fig 6 — serial ingestion of FFHQ-like images into different formats
+(seconds, lower is better).
+
+Paper setup: 10,000 uncompressed 1024x1024x3 images (~3 MB each) written
+serially into each format on an AWS c5.9xlarge.  Scaled default here:
+N=32 at 256x256x3 — same shape of comparison, laptop-sized.  Expected
+shape (paper): Deep Lake ~ WebDataset ~ FFCV beton (fast binary writers)
+<< Zarr/N5 array stores and Parquet.
+"""
+
+import time
+
+import pytest
+
+import repro
+from benchmarks.conftest import print_table, scaled
+from repro.baselines import (
+    n5_like,
+    parquet_like,
+    tfrecord_like,
+    webdataset_like,
+    zarr_like,
+    write_beton,
+)
+from repro.workloads import ffhq_like
+
+N = scaled(32, minimum=8)
+RES = 256
+_RESULTS = {}
+
+
+def _images():
+    return ffhq_like(N, seed=0, resolution=RES)
+
+
+def _labels():
+    return ((img, i % 10) for i, img in enumerate(_images()))
+
+
+def _deeplake(tmp):
+    ds = repro.empty(str(tmp / "dl"), overwrite=True)
+    ds.create_tensor("images", htype="image", sample_compression="none",
+                     create_shape_tensor=False, create_id_tensor=False)
+    for img in _images():
+        ds.images.append(img)
+    ds.flush()
+
+
+def _record(name, benchmark, fn):
+    start = time.perf_counter()
+    benchmark.pedantic(fn, rounds=1, iterations=1)
+    _RESULTS[name] = time.perf_counter() - start
+
+
+def test_ingest_deeplake(benchmark, tmp_path):
+    _record("deeplake", benchmark, lambda: _deeplake(tmp_path))
+
+
+def test_ingest_webdataset(benchmark, tmp_path):
+    _record(
+        "webdataset", benchmark,
+        lambda: webdataset_like.write_shards(
+            str(tmp_path / "wds"), _labels(), samples_per_shard=8,
+            compression="none",
+        ),
+    )
+
+
+def test_ingest_ffcv_beton(benchmark, tmp_path):
+    _record(
+        "ffcv", benchmark,
+        lambda: write_beton(str(tmp_path / "d.beton"), _labels(),
+                            compression=None),
+    )
+
+
+def test_ingest_tfrecord(benchmark, tmp_path):
+    _record(
+        "tfrecord", benchmark,
+        lambda: tfrecord_like.write_records(
+            str(tmp_path / "d.tfrec"), _labels(), compression="none"
+        ),
+    )
+
+
+def test_ingest_zarr(benchmark, tmp_path):
+    _record(
+        "zarr", benchmark,
+        lambda: zarr_like.write_images(str(tmp_path / "zarr"), _images(), N),
+    )
+
+
+def test_ingest_n5(benchmark, tmp_path):
+    _record(
+        "n5", benchmark,
+        lambda: n5_like.write_images(str(tmp_path / "n5"), _images(), N),
+    )
+
+
+def test_ingest_parquet(benchmark, tmp_path):
+    _record(
+        "parquet", benchmark,
+        lambda: parquet_like.write_images(str(tmp_path / "pq"), _images(), N),
+    )
+
+
+def test_zz_fig6_report(benchmark):
+    """Aggregates the per-format timings into the Fig 6 series."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) < 7:
+        pytest.skip("run the whole file to get the report")
+    rows = [
+        {"format": name, "seconds": round(secs, 3),
+         "img_per_s": round(N / secs, 1)}
+        for name, secs in sorted(_RESULTS.items(), key=lambda kv: kv[1])
+    ]
+    print_table(
+        f"Fig 6 | ingest {N} x {RES}x{RES}x3 raw images, serial write "
+        "(lower=better)",
+        rows,
+        note="paper: 10k x 1024^2; deeplake ~ webdataset/ffcv << zarr/n5/parquet",
+    )
+    fast = min(_RESULTS["webdataset"], _RESULTS["ffcv"], _RESULTS["tfrecord"])
+    # shape assertions: binary-style writers in one league, array stores slower
+    assert _RESULTS["deeplake"] < 3.0 * fast
+    assert _RESULTS["deeplake"] < _RESULTS["zarr"] * 1.5
+    assert _RESULTS["deeplake"] < _RESULTS["n5"] * 1.5

@@ -1,0 +1,117 @@
+"""Fig 8 — streaming one epoch from different storage locations
+(seconds, lower is better): Local FS, AWS S3, MinIO (LAN).
+
+The same dataset is laid out as Deep Lake chunks and as WebDataset tar
+shards on three simulated backends whose network models differ in
+per-request overhead / latency / bandwidth.  Virtual I/O time (charged to
+the SimClock by every storage operation) is the figure's series: it
+captures exactly the request-count x latency + bytes / bandwidth
+behaviour that separates the locations in the paper.
+
+Expected shape: local << s3 < minio for both loaders; deeplake tracks
+local performance on S3 closely; both formats degrade on MinIO (higher
+per-request overhead + lower bandwidth), mirroring §6.3.
+"""
+
+import pytest
+
+import repro
+from benchmarks.conftest import print_table, scaled
+from repro.baselines import WebDatasetLoader, webdataset_like
+from repro.sim import SimClock
+from repro.storage import make_object_store
+from repro.workloads import imagenet_like
+from repro.workloads.builders import build_image_classification_dataset
+
+N = scaled(160, minimum=40)
+RES = 96
+BATCH = 16
+LOCATIONS = ("local", "s3", "minio")
+_ROWS = []
+
+
+def _deeplake_epoch(location: str) -> dict:
+    clock = SimClock()
+    store = make_object_store(location, clock=clock)
+    build_image_classification_dataset(
+        store, N, seed=0, base=RES, ragged=False, max_chunk_size=512 * 1024
+    )
+    upload_s = clock.now()
+    ds = repro.load(store)  # fresh open: no warm caches
+    store.stats.reset()
+    clock.reset()
+    loader = ds.dataloader(batch_size=BATCH, shuffle=True, seed=0,
+                           num_workers=0)
+    count = sum(len(b["labels"]) for b in loader)
+    assert count == N
+    snap = store.stats.snapshot()
+    return {
+        "io_s": clock.now(),
+        "gets": snap["get_requests"],
+        "mb": snap["bytes_read"] / 1e6,
+        "upload_s": upload_s,
+    }
+
+
+def _webdataset_epoch(location: str) -> dict:
+    clock = SimClock()
+    store = make_object_store(location, clock=clock)
+    pairs = list(imagenet_like(N, seed=0, base=RES, ragged=False))
+    webdataset_like.write_shards(store, pairs, samples_per_shard=64)
+    store.stats.reset()
+    clock.reset()
+    loader = WebDatasetLoader(store, shuffle_buffer=64, seed=0)
+    count = sum(len(b["label"]) for b in loader.iter_batches(BATCH))
+    assert count == N
+    snap = store.stats.snapshot()
+    return {
+        "io_s": clock.now(),
+        "gets": snap["get_requests"],
+        "mb": snap["bytes_read"] / 1e6,
+    }
+
+
+@pytest.mark.parametrize("location", LOCATIONS)
+def test_stream_deeplake(benchmark, location):
+    result = benchmark.pedantic(
+        lambda: _deeplake_epoch(location), rounds=1, iterations=1
+    )
+    _ROWS.append({
+        "loader": "deeplake", "location": location,
+        "virtual_io_s": round(result["io_s"], 3),
+        "get_requests": result["gets"],
+        "mb_read": round(result["mb"], 1),
+    })
+
+
+@pytest.mark.parametrize("location", LOCATIONS)
+def test_stream_webdataset(benchmark, location):
+    result = benchmark.pedantic(
+        lambda: _webdataset_epoch(location), rounds=1, iterations=1
+    )
+    _ROWS.append({
+        "loader": "webdataset", "location": location,
+        "virtual_io_s": round(result["io_s"], 3),
+        "get_requests": result["gets"],
+        "mb_read": round(result["mb"], 1),
+    })
+
+
+def test_zz_fig8_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_ROWS) < 6:
+        pytest.skip("run the whole file to get the report")
+    rows = sorted(_ROWS, key=lambda r: (r["loader"], r["virtual_io_s"]))
+    print_table(
+        f"Fig 8 | epoch I/O time streaming {N} x {RES}^2 JPEG from "
+        "different locations (lower=better)",
+        rows,
+        note="paper: local << s3 < minio; both loaders degrade on minio",
+    )
+    times = {(r["loader"], r["location"]): r["virtual_io_s"] for r in rows}
+    for loader in ("deeplake", "webdataset"):
+        assert times[(loader, "local")] < times[(loader, "s3")]
+        assert times[(loader, "s3")] < times[(loader, "minio")]
+    # chunked layouts keep request counts tiny vs one-file-per-sample
+    gets = {(r["loader"], r["location"]): r["get_requests"] for r in rows}
+    assert gets[("deeplake", "s3")] < N / 2

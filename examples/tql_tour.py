@@ -1,0 +1,86 @@
+"""Tensor Query Language tour, ending with the paper's Fig 5 query.
+
+Shows filtering with label sugar, numeric functions, shape fast path,
+GROUP BY aggregation, weighted sampling for dataset balancing (§5.3),
+time-travel queries, and streaming a query view into the dataloader.
+
+Run:  python examples/tql_tour.py
+"""
+
+import numpy as np
+
+import repro
+from repro.workloads.builders import build_detection_dataset
+
+FIG5_QUERY = """
+SELECT
+    images[100:500, 100:500, 0:2] as crop,
+    NORMALIZE(
+        boxes,
+        [100, 100, 400, 400]) as box
+FROM
+    dataset
+WHERE IOU(boxes, "training/boxes") > 0.95
+ORDER BY IOU(boxes, "training/boxes")
+ARRANGE BY labels
+"""
+
+
+def main() -> None:
+    ds = build_detection_dataset("mem://tql-tour", 48, seed=0, resolution=600)
+    print(ds.summary(), "\n")
+
+    # -- filtering with class-name sugar ---------------------------------
+    dogsish = ds.query("SELECT * WHERE labels == 'class_2' LIMIT 10")
+    print(f"labels == 'class_2': {len(dogsish)} rows")
+
+    # -- numeric functions + ORDER BY ------------------------------------
+    worst = ds.query(
+        'SELECT * ORDER BY IOU(boxes, "training/boxes") ASC LIMIT 5'
+    )
+    print(f"5 worst predictions selected (lowest IoU): rows={len(worst)}")
+
+    # -- metadata-only filtering (hidden shape tensor, no pixel decode) --
+    big = ds.query("SELECT * WHERE SHAPE(images)[0] >= 600")
+    print(f"SHAPE() fast-path rows: {len(big)}")
+
+    # -- aggregation ------------------------------------------------------
+    per_class = ds.query(
+        "SELECT labels, COUNT() as n, "
+        'MEAN(IOU(boxes, "training/boxes")) as mean_iou '
+        "GROUP BY labels"
+    )
+    print("\nper-class prediction quality:")
+    for i in range(len(per_class)):
+        print(f"  class {int(per_class['labels'][i].numpy()[()])}: "
+              f"n={int(per_class['n'][i].numpy()[()])}, "
+              f"mean IoU={float(per_class['mean_iou'][i].numpy()[()]):.3f}")
+
+    # -- balancing via weighted sampling (§4.4 / §5.3) --------------------
+    balanced = ds.query(
+        "SELECT * SAMPLE BY 1 + (labels == 'class_0') * 5 LIMIT 32", seed=1
+    )
+    counts = np.bincount(
+        [int(x) for x in np.ravel(balanced.labels.numpy())], minlength=10
+    )
+    print(f"\nweighted sample class histogram: {counts.tolist()}")
+
+    # -- the Fig 5 query, verbatim ----------------------------------------
+    result = ds.query(FIG5_QUERY)
+    print(f"\nFig 5 query -> {len(result)} rows, tensors "
+          f"{sorted(result.tensors)}")
+    if len(result):
+        print(f"  crop[0] shape:  {result['crop'][0].numpy().shape}")
+        print(f"  box[0] (normalized): "
+              f"{np.round(result['box'][0].numpy(), 3).tolist()}")
+
+    # -- query views stream straight into training (§4.4) -----------------
+    view = ds.query("SELECT images, labels WHERE labels != 'class_3'")
+    loader = view.dataloader(batch_size=8, shuffle=True, num_workers=2, seed=0)
+    batches = sum(1 for _ in loader)
+    print(f"\nstreamed the filtered view: {batches} batches, "
+          f"{loader.stats.samples} samples")
+
+
+if __name__ == "__main__":
+    main()

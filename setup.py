@@ -1,0 +1,20 @@
+"""Legacy setup script.
+
+The offline environment has setuptools but no `wheel`, so PEP 517 editable
+installs fail; `pip install -e .` falls back to this script.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "From-scratch reproduction of Deep Lake: a Lakehouse for Deep "
+        "Learning (CIDR 2023)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,99 @@
+"""Top-level public API, mirroring the `deeplake` package surface.
+
+    import repro
+
+    ds = repro.empty("mem://demo")
+    ds.create_tensor("images", htype="image", sample_compression="jpeg")
+    ds.create_tensor("labels", htype="class_label", chunk_compression="lz4")
+    ds.append({"images": arr, "labels": 3})
+    loader = ds.dataloader(batch_size=32, shuffle=True)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.dataset import Dataset
+from repro.core.sample import link, read  # noqa: F401  (re-exported)
+from repro.exceptions import DeepLakeError
+from repro.storage.provider import StorageProvider
+from repro.storage.router import storage_from_url
+from repro.util import keys as K
+
+PathOrProvider = Union[str, StorageProvider]
+
+
+def _provider(path: PathOrProvider, cache_bytes: Optional[int] = None) -> StorageProvider:
+    if isinstance(path, StorageProvider):
+        return path
+    return storage_from_url(path, cache_bytes=cache_bytes)
+
+
+def _path_str(path: PathOrProvider) -> str:
+    return path if isinstance(path, str) else repr(path)
+
+
+def exists(path: PathOrProvider) -> bool:
+    """True when *path* contains a Deep Lake dataset."""
+    storage = _provider(path, cache_bytes=0)
+    return K.dataset_meta_key(K.FIRST_COMMIT_ID) in storage or bool(
+        storage.list_prefix("versions/")
+    )
+
+
+def empty(
+    path: PathOrProvider,
+    overwrite: bool = False,
+    strict: bool = True,
+    cache_bytes: Optional[int] = None,
+) -> Dataset:
+    """Create a new empty dataset at *path* (see Fig 4's starting point)."""
+    storage = _provider(path, cache_bytes=cache_bytes)
+    if exists(storage):
+        if not overwrite:
+            raise DeepLakeError(
+                f"dataset already exists at {_path_str(path)}; pass "
+                "overwrite=True to replace it"
+            )
+        storage.clear()
+    return Dataset(storage, strict=strict, path=_path_str(path))
+
+
+def load(
+    path: PathOrProvider,
+    read_only: bool = False,
+    strict: bool = True,
+    cache_bytes: Optional[int] = None,
+) -> Dataset:
+    """Open an existing dataset."""
+    storage = _provider(path, cache_bytes=cache_bytes)
+    if not exists(storage):
+        raise DeepLakeError(f"no dataset found at {_path_str(path)}")
+    return Dataset(
+        storage, read_only=read_only, strict=strict, path=_path_str(path)
+    )
+
+
+def dataset(
+    path: PathOrProvider,
+    read_only: bool = False,
+    strict: bool = True,
+    overwrite: bool = False,
+    cache_bytes: Optional[int] = None,
+) -> Dataset:
+    """Open-or-create convenience wrapper."""
+    storage = _provider(path, cache_bytes=cache_bytes)
+    if exists(storage) and not overwrite:
+        return load(storage, read_only=read_only, strict=strict)
+    return empty(storage, overwrite=overwrite, strict=strict)
+
+
+def delete(path: PathOrProvider) -> None:
+    """Remove a dataset and all its versions."""
+    storage = _provider(path, cache_bytes=0)
+    storage.clear()
+
+
+def copy(src: Dataset, dest: PathOrProvider, **kwargs) -> Dataset:
+    """Materialize *src* (dataset or view) into *dest* storage."""
+    return src.copy(_provider(dest), path=_path_str(dest), **kwargs)

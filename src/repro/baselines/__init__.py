@@ -1,0 +1,47 @@
+"""Comparator formats and dataloaders the paper benchmarks against.
+
+Each module re-implements a format's *layout* from scratch so its
+trade-offs appear for real (DESIGN.md §1): chunk-grid array stores
+(zarr/n5), tar shards (webdataset), a single-file page-aligned binary
+(ffcv beton), length-delimited records (tfrecord), columnar row groups
+(parquet), msgpack shards (squirrel), and the one-file-per-sample
+imagefolder layout (native pytorch)."""
+
+from repro.baselines import (  # noqa: F401
+    ffcv_like,
+    folder_loader,
+    n5_like,
+    parquet_like,
+    squirrel_like,
+    tfrecord_like,
+    webdataset_like,
+    zarr_like,
+)
+from repro.baselines.ffcv_like import BetonReader, FFCVLoader, write_beton
+from repro.baselines.folder_loader import (
+    ImageFolderLoader,
+    upload_folder_to_provider,
+)
+from repro.baselines.parquet_like import ParquetLikeFile, write_table
+from repro.baselines.squirrel_like import SquirrelLoader
+from repro.baselines.webdataset_like import WebDatasetLoader
+
+__all__ = [
+    "zarr_like",
+    "n5_like",
+    "webdataset_like",
+    "ffcv_like",
+    "tfrecord_like",
+    "parquet_like",
+    "squirrel_like",
+    "folder_loader",
+    "write_beton",
+    "BetonReader",
+    "FFCVLoader",
+    "WebDatasetLoader",
+    "SquirrelLoader",
+    "ImageFolderLoader",
+    "ParquetLikeFile",
+    "write_table",
+    "upload_folder_to_provider",
+]

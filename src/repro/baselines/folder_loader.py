@@ -1,0 +1,116 @@
+"""One-file-per-sample "ImageFolder" loader (the native-PyTorch baseline
+of Fig 7, and the file layout the Fig 8/9 cloud modes copy around).
+
+Every sample is an individual encoded file under ``class_x/`` folders.
+Random access means one storage request per sample — cheap on a local
+filesystem, ruinous on object storage (per-request overhead), which is
+precisely the contrast Figs 7-9 draw.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compression import decompress_array
+from repro.dataloader.prefetch import prefetched
+from repro.storage.local import LocalProvider
+from repro.storage.provider import StorageProvider
+
+
+class ImageFolderLoader:
+    """Lists class folders, decodes one file per sample on worker threads."""
+
+    name = "pytorch"
+
+    def __init__(
+        self,
+        storage_or_root,
+        num_workers: int = 4,
+        shuffle: bool = True,
+        seed: Optional[int] = 0,
+        compression: str = "jpeg",
+    ):
+        self.storage = (
+            storage_or_root
+            if isinstance(storage_or_root, StorageProvider)
+            else LocalProvider(storage_or_root)
+        )
+        self.num_workers = num_workers
+        self.shuffle = shuffle
+        self.seed = seed
+        self.compression = compression
+        self._index: Optional[List[Tuple[str, int]]] = None
+
+    def index(self) -> List[Tuple[str, int]]:
+        """(key, class) pairs discovered by listing the tree."""
+        if self._index is None:
+            entries = []
+            for key in self.storage.list_prefix(""):
+                parts = key.split("/")
+                if len(parts) < 2 or not parts[0].startswith("class_"):
+                    continue
+                label = int(parts[0].split("_")[1])
+                entries.append((key, label))
+            self._index = entries
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self.index())
+
+    def _fetch(self, i: int) -> Dict:
+        key, label = self.index()[i]
+        payload = self.storage[key]  # one request per sample
+        return {
+            "image": decompress_array(payload, self.compression),
+            "label": label,
+        }
+
+    def iter_batches(self, batch_size: int) -> Iterator[Dict]:
+        order = list(range(len(self)))
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(order)
+        stream = prefetched(
+            order,
+            self._fetch,
+            num_workers=self.num_workers,
+            inflight_limit=max(1, self.num_workers * 2),
+        )
+        batch: List[Dict] = []
+        for sample in stream:
+            batch.append(sample)
+            if len(batch) == batch_size:
+                yield self._collate(batch)
+                batch = []
+        if batch:
+            yield self._collate(batch)
+
+    @staticmethod
+    def _collate(batch: List[Dict]) -> Dict:
+        images = [b["image"] for b in batch]
+        labels = np.asarray([b["label"] for b in batch])
+        shapes = {im.shape for im in images}
+        return {
+            "image": np.stack(images) if len(shapes) == 1 else images,
+            "label": labels,
+        }
+
+
+def upload_folder_to_provider(
+    root: str, provider: StorageProvider
+) -> Tuple[int, int]:
+    """Copy an on-disk imagefolder into a (simulated) object store.
+
+    Returns (files, bytes) — the File Mode download mirrored in reverse.
+    """
+    local = LocalProvider(root)
+    files = 0
+    total = 0
+    for key in local.list_prefix(""):
+        payload = local[key]
+        provider[key] = payload
+        files += 1
+        total += len(payload)
+    return files, total

@@ -1,0 +1,101 @@
+"""TFRecord-style length-delimited record stream (Fig 6 comparator).
+
+Framing follows the real TFRecord file format: ``u64 length | u32
+masked-crc(length) | payload | u32 masked-crc(payload)``.  Payloads are a
+minimal feature map (string key -> bytes/int64 value), the role protobuf
+``tf.train.Example`` plays.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.compression import compress_array, decompress_array
+from repro.exceptions import ChunkCorruptedError
+
+
+def _masked_crc(data: bytes) -> int:
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return ((crc >> 15 | crc << 17) + 0xA282EAD8) & 0xFFFFFFFF
+
+
+def _encode_example(features: Dict[str, object]) -> bytes:
+    parts = [struct.pack("<H", len(features))]
+    for key, value in sorted(features.items()):
+        kb = key.encode()
+        if isinstance(value, (int, np.integer)):
+            tag, payload = 0, struct.pack("<q", int(value))
+        else:
+            tag, payload = 1, bytes(value)
+        parts.append(struct.pack("<HBI", len(kb), tag, len(payload)))
+        parts.append(kb)
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def _decode_example(data: bytes) -> Dict[str, object]:
+    (n,) = struct.unpack_from("<H", data, 0)
+    off = 2
+    out: Dict[str, object] = {}
+    for _ in range(n):
+        klen, tag, plen = struct.unpack_from("<HBI", data, off)
+        off += 7
+        key = data[off : off + klen].decode()
+        off += klen
+        payload = data[off : off + plen]
+        off += plen
+        out[key] = struct.unpack("<q", payload)[0] if tag == 0 else payload
+    return out
+
+
+def write_records(
+    path: str,
+    samples: Iterable[Tuple[np.ndarray, int]],
+    compression: str = "jpeg",
+) -> int:
+    n = 0
+    with open(path, "wb") as f:
+        for image, label in samples:
+            example = _encode_example(
+                {
+                    "image": compress_array(np.asarray(image), compression),
+                    "label": int(label),
+                }
+            )
+            length = struct.pack("<Q", len(example))
+            f.write(length)
+            f.write(struct.pack("<I", _masked_crc(length)))
+            f.write(example)
+            f.write(struct.pack("<I", _masked_crc(example)))
+            n += 1
+    return n
+
+
+def read_records(
+    path: str, compression: str = "jpeg", verify: bool = True
+) -> Iterator[Dict]:
+    """Sequential scan (TFRecord supports nothing else)."""
+    with open(path, "rb") as f:
+        while True:
+            head = f.read(12)
+            if not head:
+                return
+            if len(head) < 12:
+                raise ChunkCorruptedError("truncated tfrecord length header")
+            (length,) = struct.unpack_from("<Q", head, 0)
+            (lcrc,) = struct.unpack_from("<I", head, 8)
+            if verify and _masked_crc(head[:8]) != lcrc:
+                raise ChunkCorruptedError("tfrecord length crc mismatch")
+            payload = f.read(length)
+            (pcrc,) = struct.unpack("<I", f.read(4))
+            if verify and _masked_crc(payload) != pcrc:
+                raise ChunkCorruptedError("tfrecord payload crc mismatch")
+            features = _decode_example(payload)
+            yield {
+                "image": decompress_array(features["image"], compression),
+                "label": int(features["label"]),
+            }

@@ -1,0 +1,161 @@
+"""WebDataset-style tar-shard format + sequential streaming loader.
+
+Samples are files inside POSIX tar archives ("shards"): ``{key}.jpg`` and
+``{key}.cls`` pairs.  Reading is strictly sequential per shard; randomness
+comes from shard order + a reservoir shuffle buffer — the design WebDataset
+uses to make object storage reads sequential.  The loader can read shards
+from any storage provider, so the Fig 8 streaming bench points it at the
+simulated S3/MinIO stores.
+"""
+
+from __future__ import annotations
+
+import io
+import tarfile
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compression import compress_array, decompress_array
+from repro.dataloader.order import buffer_shuffle_iter
+from repro.storage.local import LocalProvider
+from repro.storage.provider import StorageProvider
+
+
+def _storage(storage_or_root) -> StorageProvider:
+    if isinstance(storage_or_root, StorageProvider):
+        return storage_or_root
+    return LocalProvider(storage_or_root)
+
+
+def write_shards(
+    storage_or_root,
+    samples: Iterable[Tuple[np.ndarray, int]],
+    samples_per_shard: int = 512,
+    compression: str = "jpeg",
+) -> List[str]:
+    """Write (image, label) pairs into tar shards; returns shard keys."""
+    storage = _storage(storage_or_root)
+    shard_keys: List[str] = []
+    buf: Optional[io.BytesIO] = None
+    tar: Optional[tarfile.TarFile] = None
+    count_in_shard = 0
+
+    def open_shard() -> None:
+        nonlocal buf, tar, count_in_shard
+        buf = io.BytesIO()
+        tar = tarfile.open(fileobj=buf, mode="w")
+        count_in_shard = 0
+
+    def close_shard() -> None:
+        nonlocal buf, tar
+        if tar is None:
+            return
+        tar.close()
+        key = f"shard-{len(shard_keys):05d}.tar"
+        storage[key] = buf.getvalue()
+        shard_keys.append(key)
+        buf = None
+        tar = None
+
+    def add_file(name: str, payload: bytes) -> None:
+        info = tarfile.TarInfo(name=name)
+        info.size = len(payload)
+        tar.addfile(info, io.BytesIO(payload))
+
+    open_shard()
+    for i, (image, label) in enumerate(samples):
+        if count_in_shard >= samples_per_shard:
+            close_shard()
+            open_shard()
+        key = f"{i:08d}"
+        add_file(f"{key}.jpg", compress_array(np.asarray(image), compression))
+        add_file(f"{key}.cls", str(int(label)).encode())
+        count_in_shard += 1
+    close_shard()
+    return shard_keys
+
+
+def iter_shard(
+    storage: StorageProvider, shard_key: str, compression: str = "jpeg"
+) -> Iterator[Dict]:
+    """Stream one shard sequentially, grouping files by sample key."""
+    blob = storage[shard_key]  # sequential whole-shard fetch, like wds
+    with tarfile.open(fileobj=io.BytesIO(blob), mode="r") as tar:
+        current_key = None
+        sample: Dict = {}
+        for member in tar:
+            if not member.isfile():
+                continue
+            key, _, ext = member.name.rpartition(".")
+            if current_key is not None and key != current_key and sample:
+                yield sample
+                sample = {}
+            current_key = key
+            payload = tar.extractfile(member).read()
+            if ext == "jpg":
+                sample["image"] = decompress_array(payload, compression)
+            elif ext == "cls":
+                sample["label"] = int(payload.decode())
+            else:
+                sample[ext] = payload
+        if sample:
+            yield sample
+
+
+class WebDatasetLoader:
+    """Sequential shard streaming + reservoir shuffle + batching."""
+
+    name = "webdataset"
+
+    def __init__(
+        self,
+        storage_or_root,
+        shuffle_buffer: int = 1000,
+        shuffle_shards: bool = True,
+        seed: Optional[int] = 0,
+        compression: str = "jpeg",
+    ):
+        self.storage = _storage(storage_or_root)
+        self.shuffle_buffer = shuffle_buffer
+        self.shuffle_shards = shuffle_shards
+        self.seed = seed
+        self.compression = compression
+
+    def shard_keys(self) -> List[str]:
+        return [k for k in self.storage.list_prefix("") if k.endswith(".tar")]
+
+    def iter_samples(self) -> Iterator[Dict]:
+        keys = self.shard_keys()
+        if self.shuffle_shards:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(keys)
+        def stream():
+            for key in keys:
+                yield from iter_shard(self.storage, key, self.compression)
+        if self.shuffle_buffer > 1:
+            yield from buffer_shuffle_iter(
+                stream(), self.shuffle_buffer, seed=self.seed
+            )
+        else:
+            yield from stream()
+
+    def iter_batches(self, batch_size: int) -> Iterator[Dict]:
+        batch: List[Dict] = []
+        for sample in self.iter_samples():
+            batch.append(sample)
+            if len(batch) == batch_size:
+                yield _collate(batch)
+                batch = []
+        if batch:
+            yield _collate(batch)
+
+
+def _collate(batch: List[Dict]) -> Dict:
+    images = [b["image"] for b in batch]
+    labels = np.asarray([b.get("label", -1) for b in batch])
+    shapes = {im.shape for im in images}
+    return {
+        "image": np.stack(images) if len(shapes) == 1 else images,
+        "label": labels,
+    }

@@ -1,0 +1,145 @@
+"""Zarr-style statically chunked array store (Fig 6 comparator).
+
+One n-dimensional array per store; a fixed chunk grid; one blob per grid
+cell under ``c/<i>.<j>...``; JSON metadata in ``.zarray``.  This is the
+"statically chunked array format" the paper contrasts TSF against (§3.2):
+uniform shapes only, chunk grid fixed at creation, no ragged samples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression import compress_bytes, decompress_bytes
+from repro.exceptions import FormatError
+from repro.storage.local import LocalProvider
+from repro.storage.provider import StorageProvider
+from repro.util.json_util import json_dumps, json_loads
+from repro.util.shape import ceildiv
+
+
+class ZarrLikeArray:
+    """Fixed-shape chunked array on a storage provider."""
+
+    META_KEY = ".zarray"
+
+    def __init__(self, storage: StorageProvider):
+        self.storage = storage
+        meta = json_loads(storage[self.META_KEY])
+        self.shape = tuple(meta["shape"])
+        self.chunks = tuple(meta["chunks"])
+        self.dtype = np.dtype(meta["dtype"])
+        self.compressor = meta.get("compressor")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        storage: StorageProvider,
+        shape: Sequence[int],
+        chunks: Sequence[int],
+        dtype,
+        compressor: Optional[str] = "zstd",
+    ) -> "ZarrLikeArray":
+        if len(shape) != len(chunks):
+            raise FormatError("chunk rank must match array rank")
+        storage[cls.META_KEY] = json_dumps(
+            {
+                "zarr_format": 2,
+                "shape": list(shape),
+                "chunks": list(chunks),
+                "dtype": np.dtype(dtype).str,
+                "compressor": compressor,
+            }
+        )
+        return cls(storage)
+
+    def _grid(self) -> Tuple[int, ...]:
+        return tuple(ceildiv(s, c) for s, c in zip(self.shape, self.chunks))
+
+    def _chunk_key(self, grid_index: Sequence[int]) -> str:
+        return "c/" + ".".join(str(g) for g in grid_index)
+
+    # ------------------------------------------------------------------ #
+
+    def write_chunk(self, grid_index: Sequence[int], data: np.ndarray) -> None:
+        expected = tuple(
+            min(self.chunks[d], self.shape[d] - grid_index[d] * self.chunks[d])
+            for d in range(len(self.shape))
+        )
+        if tuple(data.shape) != expected:
+            raise FormatError(
+                f"chunk {tuple(grid_index)} expects shape {expected}, got "
+                f"{data.shape}"
+            )
+        payload = np.ascontiguousarray(data.astype(self.dtype)).tobytes()
+        payload = compress_bytes(payload, self.compressor)
+        self.storage[self._chunk_key(grid_index)] = payload
+
+    def read_chunk(self, grid_index: Sequence[int]) -> np.ndarray:
+        raw = decompress_bytes(
+            self.storage[self._chunk_key(grid_index)], self.compressor
+        )
+        shape = tuple(
+            min(self.chunks[d], self.shape[d] - grid_index[d] * self.chunks[d])
+            for d in range(len(self.shape))
+        )
+        return np.frombuffer(raw, dtype=self.dtype).reshape(shape).copy()
+
+    def write_leading(self, index: int, sample: np.ndarray) -> None:
+        """Write one slot along axis 0 (chunks must be (1, ...))."""
+        if self.chunks[0] != 1:
+            raise FormatError("write_leading requires chunks[0] == 1")
+        grid = (index, *([0] * (len(self.shape) - 1)))
+        self.write_chunk(grid, sample[np.newaxis])
+
+    def read_leading(self, index: int) -> np.ndarray:
+        if self.chunks[0] != 1:
+            raise FormatError("read_leading requires chunks[0] == 1")
+        return self.read_chunk((index, *([0] * (len(self.shape) - 1))))[0]
+
+
+def write_images(
+    storage_or_root,
+    images: Iterable[np.ndarray],
+    n: int,
+    compressor: Optional[str] = "zstd",
+) -> ZarrLikeArray:
+    """Fig 6 writer: serially store *n* uniform images as (n, H, W, C)."""
+    storage = (
+        storage_or_root
+        if isinstance(storage_or_root, StorageProvider)
+        else LocalProvider(storage_or_root)
+    )
+    images = iter(images)
+    first = np.asarray(next(images))
+    arr = ZarrLikeArray.create(
+        storage,
+        shape=(n, *first.shape),
+        chunks=(1, *first.shape),
+        dtype=first.dtype,
+        compressor=compressor,
+    )
+    arr.write_chunk((0, 0, 0, 0), first[None])
+    for i, img in enumerate(images, start=1):
+        img = np.asarray(img)
+        if img.shape != first.shape:
+            raise FormatError(
+                "zarr-like arrays are statically shaped; ragged sample "
+                f"{img.shape} != {first.shape} (this is TSF's advantage)"
+            )
+        arr.write_chunk((i, 0, 0, 0), img[None])
+    return arr
+
+
+def read_image(storage_or_root, index: int) -> np.ndarray:
+    storage = (
+        storage_or_root
+        if isinstance(storage_or_root, StorageProvider)
+        else LocalProvider(storage_or_root)
+    )
+    arr = ZarrLikeArray(storage)
+    return arr.read_chunk((index, 0, 0, 0))[0]

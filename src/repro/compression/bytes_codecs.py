@@ -1,0 +1,141 @@
+"""Byte-stream codecs: none, lz4_sim, zstd_sim, gzip, lzma.
+
+The real Deep Lake links liblz4/zstd; offline we map them onto zlib at
+different effort levels, preserving the property the benchmarks exercise:
+a *fast/cheap* codec (lz4) vs a *denser/slower* one (zstd/gzip).  These
+codecs serve both as chunk compressions and, wrapped in the array framing,
+as sample compressions for numeric tensors.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+import numpy as np
+
+from repro.compression.base import (
+    Codec,
+    pack_array_header,
+    register_codec,
+    unpack_array_header,
+)
+from repro.exceptions import SampleCompressionError
+
+
+class ByteCodec(Codec):
+    """Base for codecs that act on raw byte streams."""
+
+    kind = "byte"
+    lossy = False
+
+    # --- raw byte API (chunk compression path) ---
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    # --- array API (sample compression path) ---
+
+    def compress(self, array: np.ndarray) -> bytes:
+        array = np.ascontiguousarray(array)
+        header = pack_array_header(array, self.name)
+        return header + self.compress_bytes(array.tobytes())
+
+    def decompress(self, data: bytes) -> np.ndarray:
+        name, dtype, shape, off = unpack_array_header(data)
+        if name != self.name:
+            raise SampleCompressionError(
+                f"payload encoded with {name!r}, decoded with {self.name!r}"
+            )
+        raw = self.decompress_bytes(bytes(data[off:]))
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+    def peek_shape(self, data: bytes):
+        _name, _dtype, shape, _off = unpack_array_header(data)
+        return shape
+
+
+class NoneCodec(ByteCodec):
+    """Identity codec (uncompressed storage)."""
+
+    name = "none"
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+class ZlibBackedCodec(ByteCodec):
+    """zlib at a fixed level, standing in for a named codec."""
+
+    level = 6
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return zlib.compress(bytes(data), self.level)
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(bytes(data))
+        except zlib.error as exc:
+            raise SampleCompressionError(f"{self.name}: {exc}") from exc
+
+
+class LZ4Sim(ZlibBackedCodec):
+    """LZ4 stand-in: fastest setting, modest ratio."""
+
+    name = "lz4"
+    level = 1
+
+
+class ZstdSim(ZlibBackedCodec):
+    """Zstandard stand-in: balanced setting."""
+
+    name = "zstd"
+    level = 6
+
+
+class GzipCodec(ZlibBackedCodec):
+    name = "gzip"
+    level = 9
+
+
+class LzmaCodec(ByteCodec):
+    """High-ratio, slow codec (xz)."""
+
+    name = "lzma"
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return lzma.compress(bytes(data), preset=1)
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(bytes(data))
+        except lzma.LZMAError as exc:
+            raise SampleCompressionError(f"lzma: {exc}") from exc
+
+
+class Bz2Codec(ByteCodec):
+    name = "bz2"
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return bz2.compress(bytes(data), 1)
+
+    def decompress_bytes(self, data: bytes) -> bytes:
+        try:
+            return bz2.decompress(bytes(data))
+        except (OSError, ValueError) as exc:
+            raise SampleCompressionError(f"bz2: {exc}") from exc
+
+
+NONE = register_codec(NoneCodec())
+LZ4 = register_codec(LZ4Sim())
+ZSTD = register_codec(ZstdSim())
+GZIP = register_codec(GzipCodec())
+LZMA = register_codec(LzmaCodec())
+BZ2 = register_codec(Bz2Codec())

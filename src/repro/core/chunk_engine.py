@@ -1,0 +1,964 @@
+"""ChunkEngine: per-tensor orchestration of the Tensor Storage Format.
+
+One engine owns everything between a tensor's public API and raw storage:
+
+- chunk construction within [min, max] size bounds (§3.4), sample vs chunk
+  compression, tiling of oversize samples, the video no-tiling exception;
+- the compressed index map (:class:`ChunkIdEncoder`) plus tile / sequence /
+  pad encoders;
+- version-aware chunk resolution: reads walk the commit chain and take the
+  first commit whose chunk_set contains the chunk (§4.2), writes
+  copy-on-write chunks owned by ancestor commits;
+- partial (ranged) reads of single samples out of big chunks, with a
+  decoded-chunk LRU buffer ("maintaining a buffer cache of fetched and
+  unutilized data", §3.5);
+- the on-the-fly :meth:`rechunk` layout optimiser;
+- sparse out-of-bounds assignment via padding (strict mode off).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.compression import (
+    compress_array,
+    decompress_array,
+    get_codec,
+)
+from repro.core.chunk import Chunk, ChunkHeader
+from repro.core.encoders import (
+    ChunkIdEncoder,
+    PadEncoder,
+    SequenceEncoder,
+    TileEncoder,
+)
+from repro.core.meta import TensorMeta
+from repro.core.sample import LinkedSample, Sample
+from repro.core.version_state import VersionState
+from repro.core import tiling
+from repro.core.htypes import validate_sample
+from repro.exceptions import (
+    FormatError,
+    KeyNotFound,
+    LinkError,
+    SampleIndexError,
+)
+from repro.storage.provider import StorageProvider
+from repro.util import keys as K
+from repro.util.json_util import json_dumps, json_loads
+
+_HEADER_PROBE = 4096  # first ranged request size when reading chunk headers
+_CHUNK_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class CommitDiff:
+    """Per-tensor per-commit change record (feeds diff & merge, §4.2)."""
+
+    def __init__(self, first_index: int = 0, created: bool = False):
+        self.created = created
+        self.first_index = int(first_index)  # tensor length at commit start
+        self.num_added = 0
+        self.updated: Set[int] = set()
+
+    @property
+    def added_range(self) -> Tuple[int, int]:
+        return self.first_index, self.first_index + self.num_added
+
+    def add(self, count: int = 1) -> None:
+        self.num_added += count
+
+    def update(self, index: int) -> None:
+        if index < self.first_index or index >= self.first_index + self.num_added:
+            self.updated.add(int(index))
+
+    def to_json(self) -> bytes:
+        return json_dumps(
+            {
+                "created": self.created,
+                "first_index": self.first_index,
+                "num_added": self.num_added,
+                "updated": sorted(self.updated),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "CommitDiff":
+        obj = json_loads(data)
+        diff = cls(obj.get("first_index", 0), obj.get("created", False))
+        diff.num_added = obj.get("num_added", 0)
+        diff.updated = set(obj.get("updated", []))
+        return diff
+
+
+class ChunkEngine:
+    """Reads and writes one tensor's chunks against a storage provider."""
+
+    def __init__(
+        self,
+        tensor: str,
+        storage: StorageProvider,
+        version_state: VersionState,
+        meta: Optional[TensorMeta] = None,
+        cache_bytes: int = _CHUNK_CACHE_BYTES,
+    ):
+        self.tensor = tensor
+        self.storage = storage
+        self.version_state = version_state
+        self._lock = threading.RLock()
+
+        # decoded-chunk buffer cache + header cache (shared across commits;
+        # keys are full storage keys so versions never alias)
+        self._chunk_cache: "OrderedDict[str, Chunk]" = OrderedDict()
+        self._chunk_cache_bytes = 0
+        self._chunk_cache_budget = cache_bytes
+        self._header_cache: Dict[str, ChunkHeader] = {}
+
+        # per-ancestor-commit chunk_set cache
+        self._ancestor_chunk_sets: Dict[str, Set[str]] = {}
+
+        # I/O accounting for benchmarks
+        self.partial_reads = 0
+        self.full_chunk_reads = 0
+
+        # write-back chunk being filled by appends (not yet in storage)
+        self._active_chunk: Optional[Chunk] = None
+
+        if meta is not None:
+            self.meta = meta
+            self.enc = ChunkIdEncoder()
+            self.tile_enc = TileEncoder()
+            self.seq_enc = SequenceEncoder()
+            self.pad_enc = PadEncoder()
+            self.chunk_set: Set[str] = set()
+            self.commit_diff = CommitDiff(0, created=True)
+            self._dirty = True
+        else:
+            self._load_state()
+
+    # ------------------------------------------------------------------ #
+    # state load/save
+    # ------------------------------------------------------------------ #
+
+    @property
+    def commit_id(self) -> str:
+        return self.version_state.commit_id
+
+    def _state_key(self, key_fn) -> str:
+        return key_fn(self.commit_id, self.tensor)
+
+    def _read_versioned(self, key_fn) -> Optional[bytes]:
+        """First hit walking the commit chain, else None."""
+        for cid in self.version_state.commit_chain():
+            try:
+                return self.storage[key_fn(cid, self.tensor)]
+            except KeyError:
+                continue
+        return None
+
+    def _load_state(self) -> None:
+        data = self._read_versioned(K.tensor_meta_key)
+        if data is None:
+            raise FormatError(
+                f"tensor {self.tensor!r} has no metadata at commit "
+                f"{self.commit_id!r}"
+            )
+        self.meta = TensorMeta.from_json(data)
+
+        enc = self._read_versioned(K.chunk_id_encoder_key)
+        self.enc = ChunkIdEncoder.frombytes(enc) if enc else ChunkIdEncoder()
+        tile = self._read_versioned(K.tile_encoder_key)
+        self.tile_enc = TileEncoder.frombytes(tile) if tile else TileEncoder()
+        seq = self._read_versioned(K.sequence_encoder_key)
+        self.seq_enc = SequenceEncoder.frombytes(seq) if seq else SequenceEncoder()
+        pad = self._read_versioned(K.pad_encoder_key)
+        self.pad_enc = PadEncoder.frombytes(pad) if pad else PadEncoder()
+
+        # chunk_set / commit_diff belong strictly to the current commit
+        try:
+            self.chunk_set = set(
+                json_loads(self.storage[self._state_key(K.chunk_set_key)])
+            )
+        except KeyError:
+            self.chunk_set = set()
+        try:
+            self.commit_diff = CommitDiff.from_json(
+                self.storage[self._state_key(K.commit_diff_key)]
+            )
+        except KeyError:
+            self.commit_diff = CommitDiff(self.meta.length)
+        self._dirty = False
+
+    def flush(self) -> None:
+        """Persist meta, encoders and bookkeeping for the current commit."""
+        with self._lock:
+            self._finalize_active()
+            if not self._dirty:
+                return
+            self.storage[self._state_key(K.tensor_meta_key)] = self.meta.to_json()
+            self.storage[self._state_key(K.chunk_id_encoder_key)] = self.enc.tobytes()
+            if self.tile_enc.num_tiled:
+                self.storage[self._state_key(K.tile_encoder_key)] = (
+                    self.tile_enc.tobytes()
+                )
+            if self.meta.is_sequence:
+                self.storage[self._state_key(K.sequence_encoder_key)] = (
+                    self.seq_enc.tobytes()
+                )
+            if self.pad_enc.num_padded:
+                self.storage[self._state_key(K.pad_encoder_key)] = (
+                    self.pad_enc.tobytes()
+                )
+            self.storage[self._state_key(K.chunk_set_key)] = json_dumps(
+                sorted(self.chunk_set)
+            )
+            self.storage[self._state_key(K.commit_diff_key)] = (
+                self.commit_diff.to_json()
+            )
+            self._dirty = False
+
+    def reload(self) -> None:
+        """Drop in-memory state and reread from storage (after checkout)."""
+        with self._lock:
+            self.flush()
+            self._ancestor_chunk_sets.clear()
+            self._chunk_cache.clear()
+            self._chunk_cache_bytes = 0
+            self._header_cache.clear()
+            self._load_state()
+
+    def begin_new_commit(self) -> None:
+        """Reset per-commit bookkeeping after the head moved to a child.
+
+        Must be called *after* the old state was flushed and the shared
+        :class:`VersionState` points at the new head commit.
+        """
+        with self._lock:
+            self._active_chunk = None
+            self.chunk_set = set()
+            self.commit_diff = CommitDiff(self.num_samples)
+            self._ancestor_chunk_sets.clear()
+            self._dirty = True
+            self.flush()
+
+    @property
+    def has_changes(self) -> bool:
+        d = self.commit_diff
+        return bool(d.num_added or d.updated or d.created)
+
+    # ------------------------------------------------------------------ #
+    # chunk storage resolution (version tree walk)
+    # ------------------------------------------------------------------ #
+
+    def _ancestor_chunk_set(self, cid: str) -> Set[str]:
+        if cid not in self._ancestor_chunk_sets:
+            try:
+                names = set(json_loads(self.storage[K.chunk_set_key(cid, self.tensor)]))
+            except KeyError:
+                names = set()
+            self._ancestor_chunk_sets[cid] = names
+        return self._ancestor_chunk_sets[cid]
+
+    def _chunk_storage_key(self, chunk_name: str) -> str:
+        chain = self.version_state.commit_chain()
+        for cid in chain:
+            owned = (
+                self.chunk_set
+                if cid == self.commit_id
+                else self._ancestor_chunk_set(cid)
+            )
+            if chunk_name in owned:
+                return K.chunk_key(cid, self.tensor, chunk_name)
+        # legacy fallback: unversioned dataset written at the root
+        return K.chunk_key(K.FIRST_COMMIT_ID, self.tensor, chunk_name)
+
+    def _chunk_owned_by_current(self, chunk_name: str) -> bool:
+        return chunk_name in self.chunk_set
+
+    # ------------------------------------------------------------------ #
+    # chunk cache
+    # ------------------------------------------------------------------ #
+
+    def _cache_put(self, key: str, chunk: Chunk) -> None:
+        size = len(chunk.data)
+        if size > self._chunk_cache_budget:
+            return
+        with self._lock:
+            if key in self._chunk_cache:
+                self._chunk_cache_bytes -= len(self._chunk_cache.pop(key).data)
+            while (
+                self._chunk_cache
+                and self._chunk_cache_bytes + size > self._chunk_cache_budget
+            ):
+                _, old = self._chunk_cache.popitem(last=False)
+                self._chunk_cache_bytes -= len(old.data)
+            self._chunk_cache[key] = chunk
+            self._chunk_cache_bytes += size
+
+    def _cache_get(self, key: str) -> Optional[Chunk]:
+        with self._lock:
+            chunk = self._chunk_cache.get(key)
+            if chunk is not None:
+                self._chunk_cache.move_to_end(key)
+            return chunk
+
+    def _cache_drop(self, key: str) -> None:
+        with self._lock:
+            chunk = self._chunk_cache.pop(key, None)
+            if chunk is not None:
+                self._chunk_cache_bytes -= len(chunk.data)
+            self._header_cache.pop(key, None)
+
+    def _load_chunk(self, chunk_name: str) -> Chunk:
+        active = self._active_chunk
+        if active is not None and active.name == chunk_name:
+            return active
+        key = self._chunk_storage_key(chunk_name)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        blob = self.storage[key]
+        self.full_chunk_reads += 1
+        chunk = Chunk.frombytes(blob, name=chunk_name)
+        self._cache_put(key, chunk)
+        return chunk
+
+    def _load_header(self, chunk_name: str) -> Tuple[str, ChunkHeader]:
+        key = self._chunk_storage_key(chunk_name)
+        header = self._header_cache.get(key)
+        if header is None:
+            prefix = self.storage.get_bytes(key, 0, _HEADER_PROBE)
+            hlen = Chunk.peek_header_len(prefix)
+            if hlen > len(prefix):
+                prefix = self.storage.get_bytes(key, 0, hlen)
+            header = Chunk.parse_header(prefix[:hlen])
+            with self._lock:
+                self._header_cache[key] = header
+        return key, header
+
+    # ------------------------------------------------------------------ #
+    # serialisation of user samples
+    # ------------------------------------------------------------------ #
+
+    def _coerce_array(self, value) -> np.ndarray:
+        if self.meta.is_text:
+            if isinstance(value, str):
+                return np.frombuffer(value.encode("utf-8"), dtype=np.uint8).copy()
+        if self.meta.is_json and not isinstance(value, np.ndarray):
+            return np.frombuffer(json_dumps(value), dtype=np.uint8).copy()
+        arr = np.asarray(value)
+        if self.meta.dtype is not None and arr.dtype != np.dtype(self.meta.dtype):
+            if arr.dtype.kind in "iuf" and np.dtype(self.meta.dtype).kind in "iufb":
+                arr = arr.astype(self.meta.dtype)
+        return arr
+
+    def _serialize_sample(self, value) -> Tuple[bytes, Tuple[int, ...], Optional[np.ndarray]]:
+        """-> (raw payload, shape, decoded array or None).
+
+        The decoded array is returned when it was materialised anyway, so
+        tiling can reuse it without a second decode.
+        """
+        if isinstance(value, LinkedSample):
+            if not self.meta.is_link:
+                raise FormatError(
+                    f"tensor {self.tensor!r} is not a link tensor; create it "
+                    "with htype='link[...]' to append LinkedSamples"
+                )
+            raw = value.to_bytes()
+            return raw, (len(raw),), None
+
+        if self.meta.is_link:
+            raise FormatError(
+                f"link tensor {self.tensor!r} accepts LinkedSample values "
+                "(repro.link(url)), got a raw value"
+            )
+
+        if isinstance(value, Sample):
+            # fast path: matching codec => copy bytes without decode
+            if (
+                self.meta.sample_compression
+                and value.compression == self.meta.sample_compression
+            ):
+                raw = value.compressed_bytes(self.meta.sample_compression)
+                shape = value.shape
+                self.meta.set_dtype_if_unset(
+                    np.dtype(self.meta.spec.dtype or "uint8")
+                )
+                return raw, shape, None
+            value = value.array
+
+        arr = self._coerce_array(value)
+        validate_sample(self.meta.spec, arr)
+        self.meta.set_dtype_if_unset(arr.dtype)
+        if np.dtype(self.meta.dtype) != arr.dtype:
+            raise FormatError(
+                f"tensor {self.tensor!r} holds dtype {self.meta.dtype}, "
+                f"sample has {arr.dtype}"
+            )
+        if self.meta.sample_compression:
+            raw = compress_array(arr, self.meta.sample_compression)
+        else:
+            raw = np.ascontiguousarray(arr).tobytes()
+        return raw, tuple(arr.shape), arr
+
+    def _deserialize_sample(
+        self, raw: bytes, shape: Tuple[int, ...]
+    ) -> np.ndarray:
+        if self.meta.is_link:
+            return self._resolve_link(raw)
+        if self.meta.sample_compression:
+            return decompress_array(raw, self.meta.sample_compression)
+        dtype = np.dtype(self.meta.dtype or "float64")
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+    def _resolve_link(self, raw: bytes) -> np.ndarray:
+        from repro.core.links import resolve_linked_sample
+
+        linked = LinkedSample.from_bytes(raw)
+        try:
+            return resolve_linked_sample(linked)
+        except Exception as exc:  # noqa: BLE001 - annotate context
+            raise LinkError(
+                f"failed to resolve linked sample {linked.url!r}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_samples(self) -> int:
+        return self.seq_enc.num_samples if self.meta.is_sequence else self.enc.num_samples
+
+    def _finalize_active(self) -> None:
+        """Write the in-memory active chunk to storage (if any)."""
+        chunk = self._active_chunk
+        if chunk is not None and chunk.num_samples:
+            self._write_chunk(chunk)
+        self._active_chunk = None
+
+    def _get_active_chunk(self, nbytes: int) -> Chunk:
+        """Chunk that will receive the next sample (resumed or fresh).
+
+        Appends go to an in-memory write-back chunk that is persisted when
+        it fills or at :meth:`flush`; this keeps ingestion O(bytes), not
+        O(bytes * samples-per-chunk).
+        """
+        active = self._active_chunk
+        if active is not None:
+            if active.can_fit(nbytes, self.meta.max_chunk_size):
+                return active
+            self._finalize_active()
+        # resume the last stored chunk when it still has room (this is the
+        # copy-on-write extension path after checkout/commit)
+        last_id = self.enc.last_chunk_id()
+        last_is_tiled = (
+            self.enc.num_samples > 0
+            and (self.enc.num_samples - 1) in self.tile_enc
+        )
+        if last_id is not None and not last_is_tiled:
+            name = ChunkIdEncoder.name_from_id(last_id)
+            try:
+                chunk = self._load_chunk(name)
+            except KeyError:
+                chunk = None
+            if chunk is not None and chunk.can_fit(
+                nbytes, self.meta.max_chunk_size
+            ):
+                if not self._chunk_owned_by_current(name):
+                    self._own_chunk(chunk)
+                self._active_chunk = chunk
+                return chunk
+        chunk = Chunk(dtype=self.meta.dtype)
+        self.enc.register_chunk(ChunkIdEncoder.id_from_name(chunk.name), 0)
+        self.chunk_set.add(chunk.name)
+        self._active_chunk = chunk
+        return chunk
+
+    def _own_chunk(self, chunk: Chunk) -> None:
+        """Copy-on-write: claim an ancestor's chunk for the current commit."""
+        self.chunk_set.add(chunk.name)
+        # the blob will be (re)written by _write_chunk under the current
+        # commit's key; drop stale cache entries pointing at the ancestor
+        self._header_cache.pop(
+            K.chunk_key(self.commit_id, self.tensor, chunk.name), None
+        )
+
+    def _write_chunk(self, chunk: Chunk) -> None:
+        key = K.chunk_key(self.commit_id, self.tensor, chunk.name)
+        self.storage[key] = chunk.tobytes(self.meta.chunk_compression)
+        self._header_cache.pop(key, None)
+        self._cache_put(key, chunk)
+
+    def _append_flat(self, value) -> None:
+        raw, shape, arr = self._serialize_sample(value)
+        is_video = self.meta.htype == "video"
+        if (
+            len(raw) > self.meta.max_chunk_size
+            and not is_video
+            and not self.meta.is_link
+        ):
+            self._append_tiled(value, raw, shape, arr)
+        else:
+            chunk = self._get_active_chunk(len(raw))
+            chunk.append(raw, shape)
+            self.enc.register_samples(1)
+            if len(chunk.data) >= self.meta.max_chunk_size:
+                self._finalize_active()
+        if not self.meta.is_link:
+            self.meta.update_shape_interval(shape)
+        self.meta.length += 1
+        self.commit_diff.add(1)
+        self._dirty = True
+
+    def _append_tiled(self, value, raw, shape, arr) -> None:
+        # a tiled sample owns dedicated chunks; close the active one first
+        # so encoder rows stay in storage order
+        self._finalize_active()
+        if arr is None:
+            if isinstance(value, Sample):
+                arr = value.array
+            else:
+                arr = self._coerce_array(value)
+        tile_shape = tiling.choose_tile_shape(
+            arr.shape, arr.dtype.itemsize, self.meta.max_chunk_size
+        )
+        tiles = tiling.split(arr, tile_shape)
+        chunk_ids = []
+        for tile in tiles:
+            if self.meta.sample_compression:
+                payload = compress_array(tile, self.meta.sample_compression)
+            else:
+                payload = tile.tobytes()
+            chunk = Chunk(dtype=self.meta.dtype)
+            chunk.append(payload, tile.shape)
+            self.chunk_set.add(chunk.name)
+            self._write_chunk(chunk)
+            chunk_ids.append(ChunkIdEncoder.id_from_name(chunk.name))
+        index = self.enc.num_samples
+        self.enc.register_tiled_sample(chunk_ids)
+        self.tile_enc.register(index, arr.shape, tile_shape)
+
+    def _append_sequence(self, value) -> None:
+        items = list(value)
+        for item in items:
+            raw, shape, _arr = self._serialize_sample(item)
+            chunk = self._get_active_chunk(len(raw))
+            chunk.append(raw, shape)
+            self.enc.register_samples(1)
+            if len(chunk.data) >= self.meta.max_chunk_size:
+                self._finalize_active()
+            self.meta.update_shape_interval(shape)
+        self.seq_enc.register(len(items))
+        self.meta.length += 1
+        self.commit_diff.add(1)
+        self._dirty = True
+
+    def append(self, value) -> None:
+        if self.meta.is_sequence:
+            self._append_sequence(value)
+        else:
+            self._append_flat(value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def _can_partial_read(self, header: ChunkHeader) -> bool:
+        return (
+            self.meta.sample_compression is not None
+            and not header.is_chunk_compressed
+            and not self.meta.is_link
+        )
+
+    def _read_flat_bytes(
+        self, index: int, prefer_full: bool = False
+    ) -> Tuple[bytes, Tuple[int, ...]]:
+        """Raw payload + stored shape of flat sample *index*.
+
+        Two read strategies (§3.5's "range-based requests to access
+        sub-elements inside chunks" vs whole-chunk streaming):
+
+        - *partial*: header probe + exact sample byte range — right for
+          sparse random access (one sample of an 8 MB chunk);
+        - *full*: fetch and cache the decoded chunk — right for streaming
+          (the loader consumes neighbours next), set via ``prefer_full``.
+
+        Partial is only chosen when the sample is a small fraction of the
+        chunk; otherwise the full fetch costs about the same and caches.
+        """
+        chunk_id, local = self.enc.translate(index)
+        name = ChunkIdEncoder.name_from_id(chunk_id)
+        active = self._active_chunk
+        if active is not None and active.name == name:
+            return active.read_bytes(local), active.read_shape(local)
+        key = self._chunk_storage_key(name)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached.read_bytes(local), cached.read_shape(local)
+        if (
+            not prefer_full
+            and self.meta.sample_compression
+            and not self.meta.chunk_compression
+        ):
+            key, header = self._load_header(name)
+            if self._can_partial_read(header):
+                start, end = header.sample_range(local)
+                chunk_data_len = (
+                    int(header.byte_positions[-1][1])
+                    if len(header.byte_positions)
+                    else 0
+                )
+                if (end - start) * 4 < chunk_data_len:
+                    raw = self.storage.get_bytes(key, start, end)
+                    self.partial_reads += 1
+                    return raw, header.sample_shape(local)
+        chunk = self._load_chunk(name)
+        return chunk.read_bytes(local), chunk.read_shape(local)
+
+    def empty_sample(self) -> np.ndarray:
+        """The padding value: zero-size at the tensor's rank (a 0 scalar
+        for rank-0 tensors, where zero-size is unrepresentable)."""
+        dtype = np.dtype(self.meta.dtype or "float64")
+        si = self.meta.shape_interval
+        if si.is_empty:
+            return np.zeros((0,), dtype=dtype)
+        return np.zeros((0,) * len(si.lower), dtype=dtype)
+
+    def _read_flat(self, index: int, prefer_full: bool = False) -> np.ndarray:
+        if self.pad_enc.is_padded(index):
+            return self.empty_sample()
+        if index in self.tile_enc:
+            return self._read_tiled(index)
+        raw, shape = self._read_flat_bytes(index, prefer_full=prefer_full)
+        return self._deserialize_sample(raw, shape)
+
+    def _read_tiled(self, index: int) -> np.ndarray:
+        sample_shape, tile_shape = self.tile_enc.layout(index)
+        chunk_ids = self.enc.tile_chunk_ids(index)
+        tiles = []
+        for cid in chunk_ids:
+            chunk = self._load_chunk(ChunkIdEncoder.name_from_id(cid))
+            tiles.append(
+                self._deserialize_sample(chunk.read_bytes(0), chunk.read_shape(0))
+            )
+        return tiling.join(
+            tiles, sample_shape, tile_shape, np.dtype(self.meta.dtype)
+        )
+
+    def read_tiled_region(self, index: int, region: Sequence[slice]) -> np.ndarray:
+        """Read only the tiles of sample *index* intersecting *region*,
+        then crop — the visualizer's viewport streaming path."""
+        if index not in self.tile_enc:
+            return self._read_flat(index)[tuple(region)]
+        sample_shape, tile_shape = self.tile_enc.layout(index)
+        chunk_ids = self.enc.tile_chunk_ids(index)
+        hits = tiling.tiles_for_region(region, sample_shape, tile_shape)
+        dtype = np.dtype(self.meta.dtype)
+        region_slices = tuple(
+            sl if isinstance(sl, slice) else slice(sl, sl + 1)
+            for sl in region
+        ) + tuple(
+            slice(None) for _ in range(len(sample_shape) - len(region))
+        )
+        starts = [sl.indices(s)[0] for sl, s in zip(region_slices, sample_shape)]
+        stops = [sl.indices(s)[1] for sl, s in zip(region_slices, sample_shape)]
+        out = np.zeros(
+            [max(0, b - a) for a, b in zip(starts, stops)], dtype=dtype
+        )
+        for flat, gidx in hits:
+            chunk = self._load_chunk(ChunkIdEncoder.name_from_id(chunk_ids[flat]))
+            tile = self._deserialize_sample(
+                chunk.read_bytes(0), chunk.read_shape(0)
+            )
+            tile_region = tiling.tile_slices(gidx, tile_shape, sample_shape)
+            # intersection of tile extent and requested region
+            dst = []
+            src = []
+            for (t_sl, a, b) in zip(tile_region, starts, stops):
+                lo = max(t_sl.start, a)
+                hi = min(t_sl.stop, b)
+                if hi <= lo:
+                    break
+                dst.append(slice(lo - a, hi - a))
+                src.append(slice(lo - t_sl.start, hi - t_sl.start))
+            else:
+                out[tuple(dst)] = tile[tuple(src)]
+        return out
+
+    def _read_sequence(self, index: int, aslist: bool = False):
+        start, end = self.seq_enc.item_range(index)
+        items = [self._read_flat(i) for i in range(start, end)]
+        if aslist:
+            return items
+        shapes = {item.shape for item in items}
+        if len(shapes) == 1:
+            return np.stack(items) if items else np.empty((0,))
+        return items
+
+    def read_sample(self, index: int, aslist: bool = False,
+                    prefer_full: bool = False):
+        n = self.num_samples
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise SampleIndexError(
+                f"index {index} out of range for tensor {self.tensor!r} "
+                f"of length {n}"
+            )
+        if self.meta.is_sequence:
+            return self._read_sequence(index, aslist=aslist)
+        return self._read_flat(index, prefer_full=prefer_full)
+
+    def read_shape(self, index: int) -> Tuple[int, ...]:
+        """Sample shape without decoding payloads where possible."""
+        if self.meta.is_sequence:
+            start, end = self.seq_enc.item_range(index)
+            if start == end:
+                return (0,)
+            first = self._read_flat_shape(start)
+            return (end - start, *first)
+        return self._read_flat_shape(index)
+
+    def _read_flat_shape(self, index: int) -> Tuple[int, ...]:
+        if self.pad_enc.is_padded(index):
+            return tuple(self.empty_sample().shape)
+        if index in self.tile_enc:
+            return self.tile_enc.layout(index)[0]
+        if self.meta.is_link:
+            return tuple(self._read_flat(index).shape)
+        chunk_id, local = self.enc.translate(index)
+        name = ChunkIdEncoder.name_from_id(chunk_id)
+        active = self._active_chunk
+        if active is not None and active.name == name:
+            shape = active.read_shape(local)
+        else:
+            key = self._chunk_storage_key(name)
+            cached = self._cache_get(key)
+            if cached is not None:
+                shape = cached.read_shape(local)
+            else:
+                key, header = self._load_header(name)
+                shape = header.sample_shape(local)
+        if self.meta.sample_compression:
+            # chunk stores the *array* shape alongside; it is authoritative
+            return shape
+        return shape
+
+    def numpy(self, indices: Sequence[int], aslist: bool = False):
+        samples = [self.read_sample(i) for i in indices]
+        if aslist:
+            return samples
+        shapes = {s.shape if isinstance(s, np.ndarray) else None for s in samples}
+        if None not in shapes and len(shapes) == 1 and samples:
+            return np.stack(samples)
+        if not samples:
+            dtype = np.dtype(self.meta.dtype or "float64")
+            return np.empty((0,), dtype=dtype)
+        return samples
+
+    # ------------------------------------------------------------------ #
+    # updates & sparse writes
+    # ------------------------------------------------------------------ #
+
+    def update(self, index: int, value) -> None:
+        n = self.num_samples
+        if index < 0:
+            index += n
+        if index >= n:
+            raise SampleIndexError(
+                f"update index {index} out of range (length {n}); "
+                "assign via dataset[idx] with strict=False to pad"
+            )
+        if self.meta.is_sequence:
+            raise FormatError("in-place update of sequence samples is not supported")
+        raw, shape, arr = self._serialize_sample(value)
+        if index in self.tile_enc:
+            self._update_tiled(index, value, raw, shape, arr)
+        else:
+            if len(raw) > self.meta.max_chunk_size and self.meta.htype != "video":
+                raise FormatError(
+                    "replacement sample exceeds max_chunk_size; tiled "
+                    "updates require the same shape as the original"
+                )
+            chunk_id, local = self.enc.translate(index)
+            name = ChunkIdEncoder.name_from_id(chunk_id)
+            chunk = self._load_chunk(name)
+            if not self._chunk_owned_by_current(name):
+                self._own_chunk(chunk)
+            chunk.update(local, raw, shape)
+            self._write_chunk(chunk)
+        self.meta.update_shape_interval(shape)
+        self.commit_diff.update(index)
+        self.pad_enc.unpad(index)
+        self._dirty = True
+
+    def _update_tiled(self, index, value, raw, shape, arr) -> None:
+        sample_shape, tile_shape = self.tile_enc.layout(index)
+        if tuple(shape) != tuple(sample_shape):
+            raise FormatError(
+                f"tiled sample {index} has shape {sample_shape}; in-place "
+                f"update requires the same shape, got {shape}"
+            )
+        if arr is None:
+            arr = value.array if isinstance(value, Sample) else self._coerce_array(value)
+        tiles = tiling.split(arr, tile_shape)
+        chunk_ids = self.enc.tile_chunk_ids(index)
+        for cid, tile in zip(chunk_ids, tiles):
+            name = ChunkIdEncoder.name_from_id(cid)
+            chunk = self._load_chunk(name)
+            if not self._chunk_owned_by_current(name):
+                self._own_chunk(chunk)
+            payload = (
+                compress_array(tile, self.meta.sample_compression)
+                if self.meta.sample_compression
+                else tile.tobytes()
+            )
+            chunk.update(0, payload, tile.shape)
+            self._write_chunk(chunk)
+
+    def pad_to(self, length: int) -> None:
+        """Sparse support: grow with empty padded samples up to *length*."""
+        while self.num_samples < length:
+            idx = self.num_samples
+            self._append_flat(
+                self.empty_sample() if not self.meta.is_text else ""
+            )
+            self.pad_enc.pad(idx)
+
+    # ------------------------------------------------------------------ #
+    # layout optimisation
+    # ------------------------------------------------------------------ #
+
+    def rechunk(self) -> int:
+        """Rewrite all chunks into the optimal [min, max] layout (§3.5).
+
+        Returns the number of chunks after optimisation.  Random updates
+        and sparse writes fragment chunks over time; rechunking restores
+        streaming-friendly sizes.  Chunks owned by ancestor commits are
+        left untouched (immutable history); only the current commit's view
+        is rewritten.
+        """
+        if self.meta.is_sequence:
+            payloads = []
+            for i in range(self.seq_enc.num_samples):
+                start, end = self.seq_enc.item_range(i)
+                payloads.extend(
+                    self._read_flat_bytes(j) for j in range(start, end)
+                )
+        else:
+            payloads = []
+            for i in range(self.enc.num_samples):
+                if i in self.tile_enc:
+                    payloads.append(None)  # placeholder, re-tile below
+                else:
+                    payloads.append(self._read_flat_bytes(i))
+
+        # the unwritten active chunk (if any) has been fully read above
+        self._active_chunk = None
+        old_owned = set(self.chunk_set)
+        new_enc = ChunkIdEncoder()
+        new_tiles = TileEncoder()
+        self.chunk_set = set()
+        active: Optional[Chunk] = None
+
+        def finish_active():
+            nonlocal active
+            if active is not None and active.num_samples:
+                self._write_chunk(active)
+            active = None
+
+        for i, payload in enumerate(payloads):
+            if payload is None:  # tiled sample: re-append as tiles
+                finish_active()
+                arr = self._read_tiled(i)
+                tile_shape = tiling.choose_tile_shape(
+                    arr.shape, arr.dtype.itemsize, self.meta.max_chunk_size
+                )
+                ids = []
+                for tile in tiling.split(arr, tile_shape):
+                    buf = (
+                        compress_array(tile, self.meta.sample_compression)
+                        if self.meta.sample_compression
+                        else tile.tobytes()
+                    )
+                    chunk = Chunk(dtype=self.meta.dtype)
+                    chunk.append(buf, tile.shape)
+                    self.chunk_set.add(chunk.name)
+                    self._write_chunk(chunk)
+                    ids.append(ChunkIdEncoder.id_from_name(chunk.name))
+                new_enc.register_tiled_sample(ids)
+                new_tiles.register(i, arr.shape, tile_shape)
+                continue
+            raw, shape = payload
+            if active is None or not active.can_fit(
+                len(raw), self.meta.max_chunk_size
+            ):
+                finish_active()
+                active = Chunk(dtype=self.meta.dtype)
+                new_enc.register_chunk(
+                    ChunkIdEncoder.id_from_name(active.name), 0
+                )
+                self.chunk_set.add(active.name)
+            active.append(raw, shape)
+            new_enc.register_samples(1)
+        finish_active()
+
+        if self.meta.is_sequence:
+            # rebuild flat encoder only; sequence ranges unchanged
+            pass
+        # delete replaced chunks owned by this commit
+        for name in old_owned - self.chunk_set:
+            key = K.chunk_key(self.commit_id, self.tensor, name)
+            try:
+                del self.storage[key]
+            except KeyError:
+                pass
+            self._cache_drop(key)
+        self.enc = new_enc
+        self.tile_enc = new_tiles
+        self._dirty = True
+        self.flush()
+        return self.enc.num_chunks
+
+    # ------------------------------------------------------------------ #
+    # introspection used by loaders / schedulers
+    # ------------------------------------------------------------------ #
+
+    def chunk_layout(self) -> List[Tuple[str, int, int]]:
+        """(chunk_name, start_sample, end_sample) rows in storage order."""
+        return [
+            (ChunkIdEncoder.name_from_id(cid), start, end)
+            for cid, start, end in self.enc.chunk_ranges()
+        ]
+
+    def fragmentation(self) -> float:
+        """Fraction of chunks below the lower size bound (rechunk signal)."""
+        self._finalize_active()
+        names = [
+            ChunkIdEncoder.name_from_id(cid)
+            for cid, _s, _e in self.enc.chunk_ranges()
+        ]
+        if not names:
+            return 0.0
+        small = 0
+        seen = set()
+        for name in names:
+            if name in seen:
+                continue
+            seen.add(name)
+            try:
+                key, header = self._load_header(name)
+            except KeyError:
+                continue
+            approx = int(header.byte_positions[-1][1]) if len(header.byte_positions) else 0
+            if approx < self.meta.min_chunk_size:
+                small += 1
+        return small / len(seen) if seen else 0.0

@@ -1,0 +1,673 @@
+"""Dataset: columnar collection of tensors with version control (§3.1, §4).
+
+A dataset is a flat key space on a storage provider holding parallel
+tensors (columns), groups (syntactic nesting), hidden companion tensors
+(per-sample shapes for fast queries, stable sample ids for merge,
+downsampled image pyramids for visualization), and the version-control
+tree.  Subscripting with ints/slices/lists produces zero-copy *views*
+that share the underlying chunk engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.chunk_engine import ChunkEngine
+from repro.core.htypes import UNSPECIFIED
+from repro.core.index import Index
+from repro.core.meta import DatasetMeta, TensorMeta
+from repro.core.tensor import Tensor
+from repro.core.version_state import VersionState
+from repro.exceptions import (
+    FormatError,
+    GroupError,
+    ReadOnlyDatasetError,
+    TensorAlreadyExistsError,
+    TensorDoesNotExistError,
+)
+from repro.storage.provider import StorageProvider
+from repro.util import keys as K
+from repro.util.ids import new_sample_id, new_view_id
+from repro.util.json_util import json_dumps, json_loads
+from repro.version_control import operations as vc_ops
+from repro.version_control.tree import VersionTree
+
+_RESERVED = {"queries", "versions", "locks"}
+
+
+class Dataset:
+    """A Deep Lake dataset (or a view of one)."""
+
+    def __init__(
+        self,
+        storage: StorageProvider,
+        read_only: bool = False,
+        strict: bool = True,
+        path: str = "",
+        _version_state: Optional[VersionState] = None,
+    ):
+        self.storage = storage
+        self.path = path
+        self.read_only = read_only
+        self.strict = strict
+        self.index = Index()
+        self.group_index = ""
+        #: set for views produced by TQL (lineage: which query made this)
+        self.query_string: Optional[str] = None
+        #: TQL bare-column SELECTs narrow the visible tensor set
+        self._tensor_filter: Optional[List[str]] = None
+
+        self._tree = VersionTree.load(storage)
+        self.version_state = _version_state or VersionState(
+            self._tree.branches.get("main", K.FIRST_COMMIT_ID), "main"
+        )
+        self.version_state.chain_provider = self._tree.chain
+        node = self._tree.node(self.version_state.commit_id)
+        self.version_state.branch = node.branch
+        self._commit_read_only = not node.is_head
+
+        self._engines: Dict[str, ChunkEngine] = {}
+        self._meta = self._load_dataset_meta()
+
+    # ------------------------------------------------------------------ #
+    # construction / persistence plumbing
+    # ------------------------------------------------------------------ #
+
+    def _load_dataset_meta(self) -> DatasetMeta:
+        for cid in self.version_state.commit_chain():
+            try:
+                return DatasetMeta.from_json(
+                    self.storage[K.dataset_meta_key(cid)]
+                )
+            except KeyError:
+                continue
+        meta = DatasetMeta()
+        if not self.read_only and not self.storage.read_only:
+            self.storage[K.dataset_meta_key(self.version_state.commit_id)] = (
+                meta.to_json()
+            )
+            self._tree.save(self.storage)
+        return meta
+
+    def _write_dataset_meta(self) -> None:
+        self.storage[K.dataset_meta_key(self.version_state.commit_id)] = (
+            self._meta.to_json()
+        )
+
+    def _spawn(self, index: Optional[Index] = None,
+               group_index: Optional[str] = None) -> "Dataset":
+        """Shallow view sharing engines/tree/version state with self."""
+        view = object.__new__(Dataset)
+        view.__dict__.update(self.__dict__)
+        view.index = index if index is not None else self.index
+        view.group_index = (
+            group_index if group_index is not None else self.group_index
+        )
+        return view
+
+    def _at_commit(self, commit_id: str) -> "Dataset":
+        """Independent dataset object pinned at *commit_id* (time travel)."""
+        vs = VersionState(commit_id)
+        return Dataset(
+            self.storage,
+            read_only=True,
+            strict=self.strict,
+            path=self.path,
+            _version_state=vs,
+        )
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyDatasetError("dataset is opened read-only")
+        if self._commit_read_only:
+            raise ReadOnlyDatasetError(
+                f"commit {self.version_state.commit_id[:12]!r} is an "
+                "immutable snapshot; checkout a branch to write"
+            )
+        self.storage.check_writable()
+
+    def _set_commit_read_only(self, flag: bool) -> None:
+        self._commit_read_only = flag
+
+    def _reload_version_view(self) -> None:
+        self._engines.clear()
+        self._meta = self._load_dataset_meta()
+
+    # ------------------------------------------------------------------ #
+    # engines & names
+    # ------------------------------------------------------------------ #
+
+    def _engine(self, name: str) -> ChunkEngine:
+        engine = self._engines.get(name)
+        if engine is None:
+            if name not in self._meta.tensors:
+                raise TensorDoesNotExistError(name)
+            engine = ChunkEngine(name, self.storage, self.version_state)
+            self._engines[name] = engine
+        return engine
+
+    def _all_tensor_names(self, include_hidden: bool = True) -> List[str]:
+        return (
+            list(self._meta.tensors)
+            if include_hidden
+            else list(self._meta.visible_tensors)
+        )
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.group_index}/{name}" if self.group_index else name
+
+    # ------------------------------------------------------------------ #
+    # schema
+    # ------------------------------------------------------------------ #
+
+    def create_tensor(
+        self,
+        name: str,
+        htype: str = UNSPECIFIED,
+        dtype: Optional[str] = None,
+        sample_compression=UNSPECIFIED,
+        chunk_compression=UNSPECIFIED,
+        max_chunk_size: Optional[int] = None,
+        hidden: bool = False,
+        create_shape_tensor: bool = True,
+        create_id_tensor: bool = True,
+        downsampling: Optional[int] = None,
+        **meta_kwargs,
+    ) -> Tensor:
+        """Declare a new tensor column.
+
+        ``downsampling=k`` additionally maintains a hidden 1/k-scale copy
+        of every image (used by the visualizer for instant previews).
+        """
+        self._check_writable()
+        name = self._qualify(name)
+        parts = name.split("/")
+        for part in parts:
+            if not part or part in _RESERVED:
+                raise FormatError(f"invalid tensor name {name!r}")
+        if name in self._meta.tensors:
+            raise TensorAlreadyExistsError(name)
+        if name in self._meta.groups:
+            raise GroupError(f"{name!r} is a group, cannot be a tensor")
+        # implicit groups for nested names
+        if len(parts) > 1:
+            self._meta.add_group("/".join(parts[:-1]))
+
+        kwargs = dict(meta_kwargs)
+        if max_chunk_size is not None:
+            kwargs["max_chunk_size"] = max_chunk_size
+        meta = TensorMeta(
+            htype=htype,
+            dtype=dtype,
+            sample_compression=sample_compression,
+            chunk_compression=chunk_compression,
+            hidden=hidden,
+            **kwargs,
+        )
+        engine = ChunkEngine(name, self.storage, self.version_state, meta=meta)
+        self._engines[name] = engine
+        self._meta.add_tensor(name, hidden=hidden or meta.hidden)
+
+        if not hidden:
+            if create_shape_tensor:
+                shape_name = K.hidden_tensor_name(name, "shape")
+                self._create_hidden(shape_name, dtype="int64")
+                meta.links["shape"] = shape_name
+            if create_id_tensor:
+                id_name = K.hidden_tensor_name(name, "id")
+                self._create_hidden(id_name, dtype="uint64")
+                meta.links["id"] = id_name
+            if downsampling and meta.htype == "image":
+                factor = int(downsampling)
+                if factor < 2:
+                    raise FormatError("downsampling factor must be >= 2")
+                down_name = K.hidden_tensor_name(name, f"downsampled_{factor}")
+                down = TensorMeta(
+                    htype="image",
+                    sample_compression=meta.sample_compression or "jpeg",
+                    hidden=True,
+                )
+                down_engine = ChunkEngine(
+                    down_name, self.storage, self.version_state, meta=down
+                )
+                self._engines[down_name] = down_engine
+                self._meta.add_tensor(down_name, hidden=True)
+                meta.links["downsampled"] = down_name
+                meta.info["downsampling_factor"] = factor
+
+        engine.flush()
+        self._write_dataset_meta()
+        return Tensor(self, name, Index())
+
+    def _create_hidden(self, name: str, dtype: str) -> None:
+        meta = TensorMeta(
+            htype="generic", dtype=dtype, chunk_compression="lz4", hidden=True
+        )
+        engine = ChunkEngine(name, self.storage, self.version_state, meta=meta)
+        self._engines[name] = engine
+        self._meta.add_tensor(name, hidden=True)
+
+    def _create_tensor_from_meta(self, name: str, src: TensorMeta) -> Tensor:
+        """Create a tensor mirroring another's configuration (merge/copy)."""
+        return self.create_tensor(
+            name,
+            htype=src.full_htype,
+            dtype=src.dtype,
+            sample_compression=src.sample_compression,
+            chunk_compression=src.chunk_compression,
+            max_chunk_size=src.max_chunk_size,
+            create_shape_tensor="shape" in src.links,
+            create_id_tensor="id" in src.links,
+        )
+
+    def create_group(self, name: str) -> "Dataset":
+        self._check_writable()
+        name = self._qualify(name)
+        if name in self._meta.tensors:
+            raise GroupError(f"{name!r} is a tensor, cannot be a group")
+        self._meta.add_group(name)
+        self._write_dataset_meta()
+        return self._spawn(group_index=name)
+
+    def delete_tensor(self, name: str) -> None:
+        """Remove a tensor (and companions) from the current head."""
+        self._check_writable()
+        name = self._qualify(name)
+        engine = self._engine(name)
+        victims = [name] + [t for t in engine.meta.links.values()]
+        for victim in victims:
+            self.storage.clear(
+                f"{K.commit_root(self.version_state.commit_id)}{victim}/"
+            )
+            self._engines.pop(victim, None)
+            if victim in self._meta.tensors:
+                self._meta.tensors.remove(victim)
+            if victim in self._meta.hidden_tensors:
+                self._meta.hidden_tensors.remove(victim)
+        self._write_dataset_meta()
+
+    # ------------------------------------------------------------------ #
+    # hidden-tensor synchronisation
+    # ------------------------------------------------------------------ #
+
+    def _downsample(self, arr: np.ndarray, factor: int) -> np.ndarray:
+        return np.ascontiguousarray(arr[::factor, ::factor])
+
+    def _append_with_id(self, name: str, value, sample_id: Optional[int] = None) -> None:
+        """Append to *name* and mirror into its hidden companions."""
+        self._check_writable()
+        engine = self._engine(name)
+        engine.append(value)
+        new_index = engine.num_samples - 1
+        links = engine.meta.links
+        if "shape" in links:
+            if engine.meta.is_link:
+                shape = np.array([], dtype=np.int64)
+            else:
+                shape = np.asarray(engine.read_shape(new_index), dtype=np.int64)
+            self._engine(links["shape"]).append(shape)
+        if "id" in links:
+            sid = sample_id if sample_id is not None else new_sample_id()
+            self._engine(links["id"]).append(np.uint64(sid))
+        if "downsampled" in links:
+            factor = int(engine.meta.info.get("downsampling_factor", 2))
+            arr = engine.read_sample(new_index)
+            self._engine(links["downsampled"]).append(
+                self._downsample(arr, factor)
+            )
+
+    def _update_with_sync(self, name: str, index: int, value) -> None:
+        self._check_writable()
+        engine = self._engine(name)
+        engine.update(index, value)
+        links = engine.meta.links
+        if "shape" in links:
+            shape = np.asarray(engine.read_shape(index), dtype=np.int64)
+            shape_engine = self._engine(links["shape"])
+            if index < shape_engine.num_samples:
+                shape_engine.update(index, shape)
+        if "downsampled" in links:
+            factor = int(engine.meta.info.get("downsampling_factor", 2))
+            arr = engine.read_sample(index)
+            down_engine = self._engine(links["downsampled"])
+            if index < down_engine.num_samples:
+                down_engine.update(index, self._downsample(arr, factor))
+
+    def _pad_with_sync(self, name: str, length: int) -> None:
+        """Sparse support: pad tensor + companions up to *length* rows."""
+        engine = self._engine(name)
+        engine.pad_to(length)
+        links = engine.meta.links
+        if "shape" in links:
+            shape_engine = self._engine(links["shape"])
+            while shape_engine.num_samples < length:
+                shape_engine.append(np.array([], dtype=np.int64))
+        if "id" in links:
+            id_engine = self._engine(links["id"])
+            while id_engine.num_samples < length:
+                id_engine.append(np.uint64(new_sample_id()))
+        if "downsampled" in links:
+            down_engine = self._engine(links["downsampled"])
+            down_engine.pad_to(length)
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tensors(self) -> Dict[str, Tensor]:
+        """Visible tensors under the current group, name -> Tensor."""
+        prefix = f"{self.group_index}/" if self.group_index else ""
+        out = {}
+        for name in self._meta.visible_tensors:
+            if self._tensor_filter is not None and name not in self._tensor_filter:
+                continue
+            if name.startswith(prefix):
+                rest = name[len(prefix):]
+                if "/" not in rest:
+                    out[rest] = Tensor(self, name, self.index)
+        return out
+
+    @property
+    def groups(self) -> List[str]:
+        prefix = f"{self.group_index}/" if self.group_index else ""
+        out = []
+        for g in self._meta.groups:
+            if g.startswith(prefix):
+                rest = g[len(prefix):]
+                if rest and "/" not in rest:
+                    out.append(rest)
+        return out
+
+    def __getitem__(self, item):
+        if isinstance(item, str):
+            name = self._qualify(item)
+            if name in self._meta.tensors:
+                return Tensor(self, name, self.index)
+            if name in self._meta.groups:
+                return self._spawn(group_index=name)
+            raise TensorDoesNotExistError(item)
+        return self._spawn(index=self.index.compose(item))
+
+    def __getattr__(self, item: str):
+        if item.startswith("_") or item in self.__dict__:
+            raise AttributeError(item)
+        meta = self.__dict__.get("_meta")
+        if meta is not None:
+            name = self._qualify(item)
+            if name in meta.tensors:
+                return Tensor(self, name, self.index)
+            if name in meta.groups:
+                return self._spawn(group_index=name)
+        raise AttributeError(item)
+
+    @property
+    def num_samples(self) -> int:
+        """Rows of this view (min over visible tensor lengths)."""
+        lengths = [
+            self._engine(n).num_samples
+            for n in self._meta.visible_tensors
+            if (not self.group_index or n.startswith(f"{self.group_index}/"))
+        ]
+        if not lengths:
+            return 0
+        return self.index.num_rows(min(lengths))
+
+    @property
+    def max_len(self) -> int:
+        lengths = [
+            self._engine(n).num_samples for n in self._meta.visible_tensors
+        ]
+        return max(lengths) if lengths else 0
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def append(self, sample: Dict[str, object], append_empty: bool = False) -> None:
+        """Row-wise append across tensors (a *sample* of the dataset, §3.1)."""
+        self._check_writable()
+        prefix = f"{self.group_index}/" if self.group_index else ""
+        visible = {
+            n for n in self._meta.visible_tensors if n.startswith(prefix)
+        }
+        qualified = {key: self._qualify(key) for key in sample}
+        unknown = [k for k, q in qualified.items() if q not in visible]
+        if unknown:
+            raise TensorDoesNotExistError(", ".join(sorted(unknown)))
+        missing = visible - set(qualified.values())
+        if missing and not append_empty:
+            raise FormatError(
+                f"append is missing tensors {sorted(missing)}; pass "
+                "append_empty=True to pad them"
+            )
+        for key in sorted(sample):
+            self._append_with_id(qualified[key], sample[key])
+        for name in sorted(missing):
+            engine = self._engine(name)
+            self._append_with_id(name, engine.empty_sample())
+            engine.pad_enc.pad(engine.num_samples - 1)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    # ------------------------------------------------------------------ #
+    # version control facade
+    # ------------------------------------------------------------------ #
+
+    def commit(self, message: str = "") -> str:
+        return vc_ops.commit(self, message)
+
+    def checkout(self, address: str, create: bool = False) -> str:
+        return vc_ops.checkout(self, address, create=create)
+
+    def branch(self, name: str) -> str:
+        return vc_ops.checkout(self, name, create=True)
+
+    def merge(self, target: str, conflict_resolution=None,
+              commit_message: Optional[str] = None) -> str:
+        return vc_ops.merge(
+            self, target, conflict_resolution=conflict_resolution,
+            commit_message=commit_message,
+        )
+
+    def diff(self, target: Optional[str] = None) -> Dict:
+        return vc_ops.diff(self, target)
+
+    def log(self):
+        return vc_ops.log(self)
+
+    @property
+    def commit_id(self) -> str:
+        return self.version_state.commit_id
+
+    @property
+    def branch_name(self) -> str:
+        return self.version_state.branch
+
+    @property
+    def branches(self) -> List[str]:
+        return sorted(self._tree.branches)
+
+    def _has_uncommitted_changes(self) -> bool:
+        for name in self._meta.tensors:
+            try:
+                if self._engine(name).has_changes:
+                    return True
+            except TensorDoesNotExistError:
+                continue
+        return False
+
+    @property
+    def has_changes(self) -> bool:
+        return self._has_uncommitted_changes()
+
+    # ------------------------------------------------------------------ #
+    # queries, loading, materialization
+    # ------------------------------------------------------------------ #
+
+    def query(self, tql: str, **kwargs) -> "Dataset":
+        """Run a Tensor Query Language query; returns a dataset view."""
+        from repro.tql import query as tql_query
+
+        return tql_query(self, tql, **kwargs)
+
+    def dataloader(self, **kwargs):
+        """Streaming dataloader over this dataset/view (§4.6)."""
+        from repro.dataloader import DeepLakeLoader
+
+        return DeepLakeLoader(self, **kwargs)
+
+    def pytorch(self, **kwargs):
+        """PyTorch-style loader (framework handover via the sim backend)."""
+        kwargs.setdefault("backend", "torch")
+        return self.dataloader(**kwargs)
+
+    def tensorflow(self, **kwargs):
+        kwargs.setdefault("backend", "tensorflow")
+        return self.dataloader(**kwargs)
+
+    def copy(
+        self,
+        dest_storage: StorageProvider,
+        tensors: Optional[Sequence[str]] = None,
+        unlink: bool = True,
+        path: str = "",
+    ) -> "Dataset":
+        """Materialize this dataset/view into *dest_storage* (§4.5).
+
+        Copies the selected rows into a fresh dataset with an optimal
+        contiguous chunk layout; ``unlink=True`` resolves linked tensors
+        into real payloads.  This is the "materialization" step that turns
+        sparse query views and link-backed datasets into stream-optimal
+        datasets with full lineage (the source query string is recorded).
+        """
+        dest = Dataset(dest_storage, strict=self.strict, path=path)
+        names = [
+            self._qualify(t) for t in (tensors or list(self.tensors))
+        ]
+        for name in names:
+            src_meta = self._engine(name).meta
+            htype = src_meta.full_htype
+            sample_compression = src_meta.sample_compression
+            if src_meta.is_link and unlink:
+                htype = src_meta.htype  # drop link[]
+                if src_meta.htype == "image":
+                    sample_compression = sample_compression or "jpeg"
+            dest.create_tensor(
+                name,
+                htype=htype,
+                dtype=src_meta.dtype,
+                sample_compression=sample_compression,
+                chunk_compression=src_meta.chunk_compression,
+                max_chunk_size=src_meta.max_chunk_size,
+                create_shape_tensor="shape" in src_meta.links,
+                create_id_tensor="id" in src_meta.links,
+            )
+        rows_by_tensor = {}
+        for name in names:
+            engine = self._engine(name)
+            rows_by_tensor[name] = self.index.row_indices(engine.num_samples)
+        n_rows = min(len(r) for r in rows_by_tensor.values()) if names else 0
+        src_ids = {
+            name: Tensor(self, name, Index()).sample_ids() for name in names
+        }
+        from repro.core.sample import Sample
+
+        for row in range(n_rows):
+            for name in names:
+                engine = self._engine(name)
+                dest_engine = dest._engine(name)
+                src_row = rows_by_tensor[name][row]
+                sc = engine.meta.sample_compression
+                if (
+                    sc
+                    and sc == dest_engine.meta.sample_compression
+                    and not engine.meta.is_sequence
+                    and not engine.meta.is_link
+                    and src_row not in engine.tile_enc
+                ):
+                    # matching codecs: copy the encoded payload verbatim —
+                    # no decode/re-encode generation loss for lossy codecs
+                    raw, _shape = engine._read_flat_bytes(src_row)
+                    value = Sample(buffer=raw, compression=sc)
+                elif engine.meta.is_sequence:
+                    value = engine.read_sample(src_row, aslist=True)
+                else:
+                    value = engine.read_sample(src_row)
+                sid_list = src_ids[name]
+                sid = sid_list[src_row] if sid_list else None
+                dest._append_with_id(name, value, sample_id=sid)
+        if self.query_string:
+            dest._meta.info["source_query"] = self.query_string
+            dest._meta.info["source_commit"] = self.commit_id
+        dest.flush()
+        return dest
+
+    def save_view(self, view_id: Optional[str] = None,
+                  message: str = "") -> str:
+        """Persist this view's row selection + lineage under queries/."""
+        view_id = view_id or new_view_id()
+        payload = {
+            "index": self.index.to_json(),
+            "query": self.query_string,
+            "commit_id": self.commit_id,
+            "message": message,
+        }
+        self.storage[K.saved_view_key(view_id)] = json_dumps(payload)
+        return view_id
+
+    def load_view(self, view_id: str) -> "Dataset":
+        obj = json_loads(self.storage[K.saved_view_key(view_id)])
+        base = self
+        if obj.get("commit_id") and obj["commit_id"] != self.commit_id:
+            base = self._at_commit(obj["commit_id"])
+        view = base._spawn(index=Index.from_json(obj["index"]))
+        view.query_string = obj.get("query")
+        return view
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        for engine in self._engines.values():
+            engine.flush()
+        if not self.read_only and not self._commit_read_only \
+                and not self.storage.read_only:
+            self._write_dataset_meta()
+            self._tree.save(self.storage)
+        self.storage.flush()
+
+    def rechunk(self, tensors: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Optimise chunk layout of the given (default: all) tensors."""
+        self._check_writable()
+        names = (
+            [self._qualify(t) for t in tensors]
+            if tensors
+            else self._all_tensor_names(include_hidden=True)
+        )
+        return {name: self._engine(name).rechunk() for name in names}
+
+    def summary(self) -> str:
+        lines = [
+            f"Dataset(path={self.path!r}, commit={self.commit_id[:12]}, "
+            f"branch={self.branch_name!r}, rows={len(self)})"
+        ]
+        for name in sorted(self.tensors):
+            lines.append("  " + Tensor(self, self._qualify(name)).summary())
+        return "\n".join(lines)
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(path={self.path!r}, tensors={sorted(self.tensors)}, "
+            f"rows={len(self)}, branch={self.branch_name!r})"
+        )

@@ -1,0 +1,183 @@
+"""Htype system (§3.3): typed expectations on the samples of a tensor.
+
+An *htype* declares what samples of a tensor look like — dtype, rank,
+shape constraints — plus sensible default compressions, so that appends can
+be sanity-checked and deep-learning frameworks receive predictable layouts.
+Meta-types wrap a base htype:
+
+- ``sequence[image]`` — each sample is an ordered collection of images;
+- ``link[image]`` — each sample is a reference to remotely stored data
+  that still *behaves* like an image tensor when read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import HtypeError, SampleShapeError
+
+UNSPECIFIED = "__unspecified__"
+
+
+@dataclass(frozen=True)
+class HtypeSpec:
+    """Declarative contract for one htype."""
+
+    name: str
+    #: required numpy dtype kind-or-name; None accepts anything
+    dtype: Optional[str] = None
+    #: allowed sample ranks; None accepts any rank
+    ndim: Optional[Tuple[int, ...]] = None
+    #: constraint on the size of the last dimension (e.g. bbox coords = 4)
+    last_dim: Optional[Tuple[int, ...]] = None
+    default_sample_compression: Optional[str] = None
+    default_chunk_compression: Optional[str] = None
+    #: samples arrive as python objects, stored as utf-8/json byte arrays
+    is_text: bool = False
+    is_json: bool = False
+    #: extra validation hook: fn(array) raises on violation
+    validate: Optional[Callable[[np.ndarray], None]] = None
+    #: keys users may set in tensor meta (e.g. class_names)
+    meta_keys: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _validate_bbox(arr: np.ndarray) -> None:
+    if arr.size and arr.shape[-1] != 4:
+        raise SampleShapeError(
+            f"bbox samples need 4 coordinates in the last dim, got shape "
+            f"{arr.shape}"
+        )
+
+
+HTYPES: dict[str, HtypeSpec] = {
+    spec.name: spec
+    for spec in [
+        HtypeSpec("generic"),
+        HtypeSpec(
+            "image",
+            dtype="uint8",
+            ndim=(2, 3),
+            default_sample_compression="jpeg",
+        ),
+        HtypeSpec(
+            "video",
+            dtype="uint8",
+            ndim=(4,),
+            default_sample_compression="mp4",
+        ),
+        HtypeSpec(
+            "audio",
+            dtype="int16",
+            ndim=(1, 2),
+            default_sample_compression="flac",
+        ),
+        HtypeSpec(
+            "bbox",
+            dtype="float32",
+            ndim=(1, 2),
+            validate=_validate_bbox,
+            default_chunk_compression="lz4",
+            meta_keys=("coords",),
+        ),
+        HtypeSpec(
+            "class_label",
+            dtype="int32",
+            ndim=(0, 1),
+            default_chunk_compression="lz4",
+            meta_keys=("class_names",),
+        ),
+        HtypeSpec("text", dtype="uint8", ndim=(1,), is_text=True,
+                  default_chunk_compression="lz4"),
+        HtypeSpec("json", dtype="uint8", ndim=(1,), is_json=True,
+                  default_chunk_compression="lz4"),
+        HtypeSpec(
+            "binary_mask",
+            dtype="bool",
+            ndim=(2, 3),
+            default_chunk_compression="lz4",
+        ),
+        HtypeSpec(
+            "segment_mask",
+            dtype="int32",
+            ndim=(2, 3),
+            default_chunk_compression="lz4",
+            meta_keys=("class_names",),
+        ),
+        HtypeSpec("embedding", dtype="float32", ndim=(1,)),
+        HtypeSpec("point", ndim=(2,), last_dim=(2, 3)),
+        HtypeSpec("keypoints_coco", dtype="int32", ndim=(2,)),
+        HtypeSpec(
+            "dicom",  # simulated DICOM: lossless 16-bit medical frames
+            dtype="uint16",
+            ndim=(2, 3),
+            default_sample_compression="png",
+        ),
+        HtypeSpec("instance_label", dtype="int32", ndim=(2, 3),
+                  default_chunk_compression="lz4"),
+    ]
+}
+
+
+def parse_htype(htype: Optional[str]) -> Tuple[str, bool, bool]:
+    """Split a user htype string into (base, is_sequence, is_link).
+
+    Accepts ``image``, ``sequence[image]``, ``link[image]``,
+    ``sequence`` (= sequence[generic]) and ``link`` (= link[generic]).
+    """
+    if htype is None or htype == UNSPECIFIED:
+        return "generic", False, False
+    htype = htype.strip()
+    is_sequence = False
+    is_link = False
+    while True:
+        if htype.startswith("sequence[") and htype.endswith("]"):
+            is_sequence = True
+            htype = htype[len("sequence[") : -1]
+        elif htype.startswith("link[") and htype.endswith("]"):
+            is_link = True
+            htype = htype[len("link[") : -1]
+        elif htype == "sequence":
+            is_sequence = True
+            htype = "generic"
+        elif htype == "link":
+            is_link = True
+            htype = "generic"
+        else:
+            break
+    if htype not in HTYPES:
+        raise HtypeError(
+            f"unknown htype {htype!r}; known: {sorted(HTYPES)} "
+            "(optionally wrapped in sequence[...] / link[...])"
+        )
+    return htype, is_sequence, is_link
+
+
+def get_spec(base_htype: str) -> HtypeSpec:
+    try:
+        return HTYPES[base_htype]
+    except KeyError:
+        raise HtypeError(f"unknown htype {base_htype!r}") from None
+
+
+def validate_sample(spec: HtypeSpec, array: np.ndarray) -> None:
+    """Raise if *array* violates the htype contract (§3.3 sanity checks)."""
+    if spec.dtype is not None and array.dtype != np.dtype(spec.dtype):
+        raise SampleShapeError(
+            f"htype {spec.name!r} expects dtype {spec.dtype}, got "
+            f"{array.dtype} (cast explicitly or change the tensor dtype)"
+        )
+    if spec.ndim is not None and array.ndim not in spec.ndim:
+        raise SampleShapeError(
+            f"htype {spec.name!r} expects sample rank in {spec.ndim}, got "
+            f"shape {array.shape}"
+        )
+    if spec.last_dim is not None and array.size and array.shape[-1] not in spec.last_dim:
+        raise SampleShapeError(
+            f"htype {spec.name!r} expects last dim in {spec.last_dim}, got "
+            f"shape {array.shape}"
+        )
+    if spec.validate is not None:
+        spec.validate(array)

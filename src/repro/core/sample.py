@@ -1,0 +1,156 @@
+"""Sample wrappers: raw compressed payloads, file reads, and links.
+
+:func:`repro.read`-style ingestion wraps an already-compressed payload so
+that, when its codec matches the tensor's sample compression, the bytes are
+copied straight into a chunk without a decode/re-encode round trip (§5:
+"If a raw image compression matches the tensor sample compression, the
+binary is directly copied into a chunk").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.compression import decompress_array, get_codec, peek_shape
+from repro.exceptions import SampleCompressionError
+
+#: file-extension → codec-name sniffing for :func:`read`
+_EXTENSIONS = {
+    ".jpg": "jpeg",
+    ".jpeg": "jpeg",
+    ".jsim": "jpeg",
+    ".png": "png",
+    ".psim": "png",
+    ".mp4": "mp4",
+    ".vsim": "mp4",
+    ".flac": "flac",
+    ".asim": "flac",
+    ".wav": "wav",
+}
+
+_MAGICS = {
+    b"JSIM": "jpeg",
+    b"PSIM": "png",
+    b"VSIM": "mp4",
+    b"ASIM": "flac",
+    b"RPC1": "none",
+}
+
+
+def sniff_compression(data: bytes, path: str = "") -> Optional[str]:
+    """Best-effort codec detection from magic bytes, then extension."""
+    head = bytes(data[:4])
+    if head in _MAGICS:
+        return _MAGICS[head]
+    ext = os.path.splitext(path)[1].lower()
+    return _EXTENSIONS.get(ext)
+
+
+class Sample:
+    """A single value to append: either an array or a compressed payload.
+
+    Exactly one of *array* / *buffer* is set at construction; the other is
+    materialised lazily.
+    """
+
+    def __init__(
+        self,
+        array: Optional[np.ndarray] = None,
+        buffer: Optional[bytes] = None,
+        compression: Optional[str] = None,
+        path: str = "",
+    ):
+        if (array is None) == (buffer is None):
+            raise ValueError("provide exactly one of array= or buffer=")
+        self._array = None if array is None else np.asarray(array)
+        self._buffer = None if buffer is None else bytes(buffer)
+        self.compression = compression
+        self.path = path
+        if self._buffer is not None and self.compression is None:
+            self.compression = sniff_compression(self._buffer, path)
+            if self.compression is None:
+                raise SampleCompressionError(
+                    f"cannot detect compression of buffer from {path!r}; "
+                    "pass compression= explicitly"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def array(self) -> np.ndarray:
+        """Decoded numpy array (decodes on first access)."""
+        if self._array is None:
+            self._array = decompress_array(self._buffer, self.compression)
+        return self._array
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        if self._array is not None:
+            return tuple(self._array.shape)
+        shape = peek_shape(self._buffer, self.compression)
+        if shape is None:
+            return tuple(self.array.shape)
+        return shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    def compressed_bytes(self, target_compression: Optional[str]) -> bytes:
+        """Payload under *target_compression*; zero-cost when it matches."""
+        if self._buffer is not None and self.compression == (
+            target_compression or "none"
+        ):
+            return self._buffer
+        if self._buffer is not None and target_compression == self.compression:
+            return self._buffer
+        codec = get_codec(target_compression or "none")
+        return codec.compress(self.array)
+
+    def __repr__(self) -> str:
+        src = self.path or ("array" if self._array is not None else "buffer")
+        return f"Sample({src!r}, compression={self.compression!r})"
+
+
+def read(path: str, compression: Optional[str] = None) -> Sample:
+    """Read a raw encoded file (image/video/audio) as an appendable Sample.
+
+    The payload is NOT decoded here; if its codec matches the target
+    tensor's sample compression it is copied into chunks verbatim.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    return Sample(buffer=data, compression=compression, path=path)
+
+
+class LinkedSample:
+    """Pointer to externally stored data (``link[...]`` tensors, §4.5).
+
+    Only the URL is stored in the chunk; the payload is resolved at read
+    or materialization time through the creds/provider registry in
+    :mod:`repro.core.links`.
+    """
+
+    def __init__(self, url: str, creds_key: Optional[str] = None):
+        self.url = str(url)
+        self.creds_key = creds_key
+
+    def to_bytes(self) -> bytes:
+        creds = self.creds_key or ""
+        return f"{self.url}\x00{creds}".encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LinkedSample":
+        url, _, creds = bytes(data).decode("utf-8").partition("\x00")
+        return cls(url, creds or None)
+
+    def __repr__(self) -> str:
+        return f"LinkedSample({self.url!r})"
+
+
+def link(url: str, creds_key: Optional[str] = None) -> LinkedSample:
+    """Public constructor mirroring ``deeplake.link``."""
+    return LinkedSample(url, creds_key)

@@ -1,0 +1,37 @@
+"""Streaming dataloader (§4.6): order planning, prefetch, collate,
+framework handover, with throughput/stall statistics."""
+
+from repro.dataloader.loader import DeepLakeLoader, LoaderStats
+from repro.dataloader.collate import default_collate, pad_collate, strict_collate
+from repro.dataloader.order import (
+    buffer_shuffle_iter,
+    chunk_aware_shuffle,
+    chunk_locality,
+    naive_shuffle,
+    sequential_order,
+    shard_for_rank,
+    shuffle_quality,
+)
+from repro.dataloader.prefetch import (
+    PriorityWorkerPool,
+    compute_inflight_limit,
+    prefetched,
+)
+
+__all__ = [
+    "DeepLakeLoader",
+    "LoaderStats",
+    "default_collate",
+    "strict_collate",
+    "pad_collate",
+    "sequential_order",
+    "naive_shuffle",
+    "chunk_aware_shuffle",
+    "buffer_shuffle_iter",
+    "shard_for_rank",
+    "shuffle_quality",
+    "chunk_locality",
+    "PriorityWorkerPool",
+    "prefetched",
+    "compute_inflight_limit",
+]

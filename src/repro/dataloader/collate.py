@@ -1,0 +1,66 @@
+"""Batch collation: stack uniform samples, list ragged ones, hand over to
+the training framework "in deep learning native memory layout" (§4.6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import CollateError
+
+
+def default_collate(samples: Sequence[Dict]) -> Dict[str, object]:
+    """Dict-of-lists -> dict of stacked arrays (or lists when ragged)."""
+    if not samples:
+        return {}
+    keys = samples[0].keys()
+    batch: Dict[str, object] = {}
+    for key in keys:
+        values = [s[key] for s in samples]
+        first = values[0]
+        if isinstance(first, np.ndarray):
+            shapes = {v.shape for v in values}
+            if len(shapes) == 1:
+                batch[key] = np.stack(values)
+            else:
+                batch[key] = values  # ragged: keep a list
+        elif isinstance(first, (int, float, np.integer, np.floating)):
+            batch[key] = np.asarray(values)
+        else:
+            batch[key] = values
+    return batch
+
+
+def strict_collate(samples: Sequence[Dict]) -> Dict[str, np.ndarray]:
+    """Collate that refuses ragged batches (training loops that require
+    fixed shapes)."""
+    batch = default_collate(samples)
+    for key, value in batch.items():
+        if isinstance(value, list):
+            shapes = sorted({np.asarray(v).shape for v in value})
+            raise CollateError(
+                f"tensor {key!r} has non-uniform shapes in batch: {shapes}; "
+                "crop/resize in a transform or use default_collate"
+            )
+    return batch
+
+
+def pad_collate(samples: Sequence[Dict], pad_value: float = 0.0) -> Dict:
+    """Collate that zero-pads ragged arrays to the batch max shape."""
+    batch = default_collate(samples)
+    for key, value in batch.items():
+        if isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            ranks = {v.ndim for v in value}
+            if len(ranks) != 1:
+                raise CollateError(f"tensor {key!r} mixes ranks in one batch")
+            max_shape = tuple(
+                max(v.shape[d] for v in value) for d in range(value[0].ndim)
+            )
+            out = np.full(
+                (len(value), *max_shape), pad_value, dtype=value[0].dtype
+            )
+            for i, v in enumerate(value):
+                out[(i, *tuple(slice(0, s) for s in v.shape))] = v
+            batch[key] = out
+    return batch

@@ -1,0 +1,212 @@
+"""Exception hierarchy for the Deep Lake reproduction.
+
+Every error raised by the library derives from :class:`DeepLakeError` so
+applications can catch one base class.  Sub-hierarchies mirror the major
+subsystems (storage, format, version control, TQL, dataloader).
+"""
+
+from __future__ import annotations
+
+
+class DeepLakeError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(DeepLakeError):
+    """Base class for storage-provider failures."""
+
+
+class KeyNotFound(StorageError, KeyError):
+    """A storage key does not exist.
+
+    Inherits from :class:`KeyError` so mapping-style code keeps working.
+    """
+
+    def __init__(self, key: str):
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return f"storage key not found: {self.key!r}"
+
+
+class ReadOnlyStorageError(StorageError):
+    """Attempted to write to a provider opened in read-only mode."""
+
+
+class NetworkError(StorageError):
+    """A simulated (or real) network operation failed."""
+
+
+class TransientNetworkError(NetworkError):
+    """A retryable network failure injected by the flaky-network simulator."""
+
+
+class LockError(StorageError):
+    """Branch lock could not be acquired or was lost."""
+
+
+# ---------------------------------------------------------------------------
+# Tensor Storage Format
+# ---------------------------------------------------------------------------
+
+
+class FormatError(DeepLakeError):
+    """Base class for Tensor Storage Format violations."""
+
+
+class ChunkCorruptedError(FormatError):
+    """A chunk blob failed its integrity check while decoding."""
+
+
+class TensorDoesNotExistError(FormatError, KeyError):
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"tensor does not exist: {self.name!r}"
+
+
+class TensorAlreadyExistsError(FormatError):
+    def __init__(self, name: str):
+        super().__init__(f"tensor already exists: {name!r}")
+        self.name = name
+
+
+class GroupError(FormatError):
+    """Invalid group operation (e.g. group/tensor name collision)."""
+
+
+class HtypeError(FormatError):
+    """Unknown htype or a sample violating its htype contract."""
+
+
+class SampleShapeError(FormatError):
+    """Sample shape/dtype incompatible with the tensor's declared schema."""
+
+
+class SampleCompressionError(FormatError):
+    """Compression/decompression failure or codec mismatch."""
+
+
+class SampleIndexError(FormatError, IndexError):
+    """Sample index out of range (with strict mode enabled)."""
+
+
+class DynamicShapeError(FormatError):
+    """Operation requires uniform shapes but the tensor is ragged."""
+
+
+class LinkError(FormatError):
+    """A linked sample could not be resolved."""
+
+
+class ReadOnlyDatasetError(DeepLakeError):
+    """Mutation attempted on a dataset opened read-only (e.g. at a commit)."""
+
+
+# ---------------------------------------------------------------------------
+# Version control
+# ---------------------------------------------------------------------------
+
+
+class VersionControlError(DeepLakeError):
+    """Base class for version-control failures."""
+
+
+class CommitNotFoundError(VersionControlError):
+    def __init__(self, address: str):
+        super().__init__(f"no commit or branch named {address!r}")
+        self.address = address
+
+
+class BranchExistsError(VersionControlError):
+    def __init__(self, branch: str):
+        super().__init__(f"branch already exists: {branch!r}")
+        self.branch = branch
+
+
+class CheckoutError(VersionControlError):
+    """Checkout blocked (e.g. uncommitted changes with strict policy)."""
+
+
+class MergeConflictError(VersionControlError):
+    """Merge found conflicting updates and no policy resolved them."""
+
+    def __init__(self, conflicts):
+        self.conflicts = list(conflicts)
+        super().__init__(
+            f"{len(self.conflicts)} merge conflict(s); "
+            "pass conflict_resolution='ours'|'theirs' or a callable"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Tensor Query Language
+# ---------------------------------------------------------------------------
+
+
+class TQLError(DeepLakeError):
+    """Base class for Tensor Query Language errors."""
+
+
+class TQLSyntaxError(TQLError):
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20) : position + 20]
+            message = f"{message} at offset {position}: ...{snippet!r}..."
+        super().__init__(message)
+
+
+class TQLNameError(TQLError):
+    """Unknown column, function, or dataset reference in a query."""
+
+
+class TQLTypeError(TQLError):
+    """Operand types invalid for an operator or function."""
+
+
+class TQLUnsupportedError(TQLError):
+    """Syntactically valid construct not supported by the engine (e.g. JOIN)."""
+
+
+# ---------------------------------------------------------------------------
+# Dataloader / transform
+# ---------------------------------------------------------------------------
+
+
+class DataLoaderError(DeepLakeError):
+    """Base class for streaming-dataloader failures."""
+
+
+class CollateError(DataLoaderError):
+    """Samples in a batch could not be collated (shape mismatch)."""
+
+
+class MemoryBudgetError(DataLoaderError):
+    """Prefetch plan would exceed the configured memory budget."""
+
+
+class TransformError(DeepLakeError):
+    """A user transform function raised; carries index context."""
+
+    def __init__(self, index, original: BaseException):
+        self.index = index
+        self.original = original
+        super().__init__(f"transform failed at sample {index}: {original!r}")
+
+
+class IngestionError(DeepLakeError):
+    """An ingestion connector failed to read or convert a record."""
+
+
+class VisualizerError(DeepLakeError):
+    """Visualization engine failure (layout or rendering)."""

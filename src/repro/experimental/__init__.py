@@ -1,0 +1,22 @@
+"""Implemented future-work items from the paper's §7.3.
+
+Currently: IVF vector search with cluster-contiguous custom ordering
+(:mod:`repro.experimental.vector`)."""
+
+from repro.experimental.vector import (
+    IVFIndex,
+    VectorIndexError,
+    build_ivf_index,
+    exact_search,
+    recall_at_k,
+    search,
+)
+
+__all__ = [
+    "IVFIndex",
+    "VectorIndexError",
+    "build_ivf_index",
+    "search",
+    "exact_search",
+    "recall_at_k",
+]

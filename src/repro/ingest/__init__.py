@@ -1,0 +1,33 @@
+"""ETL ingestion: sources, destination, Airbyte-style protocol (§4.1)."""
+
+from repro.ingest.connectors import (
+    CSVSource,
+    DeepLakeDestination,
+    JSONLSource,
+    ParquetLikeSource,
+    SQLiteSource,
+    Source,
+    ingest_csv,
+    ingest_imagefolder,
+    ingest_jsonl,
+    ingest_source,
+    ingest_sqlite,
+)
+from repro.ingest.airbyte_sim import AirbyteLikeSync, Message, read_messages
+
+__all__ = [
+    "Source",
+    "CSVSource",
+    "JSONLSource",
+    "SQLiteSource",
+    "ParquetLikeSource",
+    "DeepLakeDestination",
+    "ingest_source",
+    "ingest_csv",
+    "ingest_jsonl",
+    "ingest_sqlite",
+    "ingest_imagefolder",
+    "AirbyteLikeSync",
+    "Message",
+    "read_messages",
+]

@@ -1,0 +1,78 @@
+"""Airbyte-style connector protocol (§4.1.1).
+
+The real integration is an Airbyte destination connector; what matters
+architecturally is the protocol shape — CATALOG discovery, RECORD
+messages, periodic STATE checkpoints — and the destination transforming
+the stream "into a columnar format".  This module speaks that message
+protocol over the :mod:`repro.ingest.connectors` sources so a sync is
+resumable from the last emitted state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.ingest.connectors import DeepLakeDestination, Source
+
+
+@dataclass
+class Message:
+    """One protocol message: CATALOG | RECORD | STATE."""
+
+    type: str
+    payload: Dict = field(default_factory=dict)
+
+
+def read_messages(source: Source, state_cursor: int = 0,
+                  checkpoint_every: int = 100) -> Iterator[Message]:
+    """Source side of the protocol: catalog, then records + state."""
+    yield Message("CATALOG", {"streams": [{"name": source.name,
+                                           "schema": source.discover()}]})
+    emitted = 0
+    for i, record in enumerate(source.read_records()):
+        if i < state_cursor:
+            continue  # already synced in a previous run
+        yield Message("RECORD", {"stream": source.name, "data": record,
+                                 "cursor": i})
+        emitted += 1
+        if emitted % checkpoint_every == 0:
+            yield Message("STATE", {"cursor": i + 1})
+    yield Message("STATE", {"cursor": state_cursor + emitted})
+
+
+class AirbyteLikeSync:
+    """Destination side: consumes messages, writes columnar batches."""
+
+    def __init__(self, source: Source, ds, batch_size: int = 100):
+        self.source = source
+        self.ds = ds
+        self.batch_size = batch_size
+        self.last_state: Optional[int] = None
+
+    def sync(self, state_cursor: int = 0) -> Dict:
+        schema: Dict[str, str] = {}
+        dest = DeepLakeDestination(self.ds)
+        buffer: List[Dict] = []
+        written = 0
+
+        def flush() -> None:
+            nonlocal written, buffer
+            if buffer:
+                written += dest.write(iter(buffer), schema)
+                buffer = []
+
+        for message in read_messages(
+            self.source, state_cursor, checkpoint_every=self.batch_size
+        ):
+            if message.type == "CATALOG":
+                schema = message.payload["streams"][0]["schema"]
+            elif message.type == "RECORD":
+                buffer.append(message.payload["data"])
+                if len(buffer) >= self.batch_size:
+                    flush()
+            elif message.type == "STATE":
+                flush()
+                self.last_state = message.payload["cursor"]
+        flush()
+        return {"records_written": written, "state": self.last_state}

@@ -1,0 +1,282 @@
+"""Ingestion connectors (§4.1.1): relational/tabular sources -> Deep Lake.
+
+A :class:`Source` discovers a schema and streams records; a
+:class:`DeepLakeDestination` turns record streams into columnar tensor
+appends with htype inference.  SQLite (stdlib) plays the relational
+database from the paper's typical scenario (§5: "associated metadata and
+labels stored on a relational database").
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import sqlite3
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.baselines.parquet_like import ParquetLikeFile
+from repro.exceptions import IngestionError
+from repro.storage.provider import StorageProvider
+
+
+class Source(ABC):
+    """A stream of flat records with a discoverable schema."""
+
+    name = "source"
+
+    @abstractmethod
+    def discover(self) -> Dict[str, str]:
+        """field -> type in {'int', 'float', 'str', 'bytes', 'json'}."""
+
+    @abstractmethod
+    def read_records(self) -> Iterator[Dict]:
+        ...
+
+
+def _infer_type(value) -> str:
+    if isinstance(value, bool):
+        return "int"
+    if isinstance(value, (int, np.integer)):
+        return "int"
+    if isinstance(value, (float, np.floating)):
+        return "float"
+    if isinstance(value, (bytes, bytearray)):
+        return "bytes"
+    if isinstance(value, (dict, list)):
+        return "json"
+    return "str"
+
+
+class CSVSource(Source):
+    """CSV file with a header row; numeric-looking cells are coerced."""
+
+    name = "csv"
+
+    def __init__(self, path: str):
+        self.path = path
+        if not os.path.exists(path):
+            raise IngestionError(f"csv file not found: {path}")
+
+    def _rows(self) -> Iterator[Dict]:
+        with open(self.path, newline="") as f:
+            for row in csv.DictReader(f):
+                yield {k: _coerce(v) for k, v in row.items()}
+
+    def discover(self) -> Dict[str, str]:
+        for row in self._rows():
+            return {k: _infer_type(v) for k, v in row.items()}
+        return {}
+
+    def read_records(self) -> Iterator[Dict]:
+        return self._rows()
+
+
+def _coerce(text: str):
+    try:
+        return int(text)
+    except (TypeError, ValueError):
+        pass
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        pass
+    return text
+
+
+class JSONLSource(Source):
+    name = "jsonl"
+
+    def __init__(self, path: str):
+        self.path = path
+        if not os.path.exists(path):
+            raise IngestionError(f"jsonl file not found: {path}")
+
+    def discover(self) -> Dict[str, str]:
+        for record in self.read_records():
+            return {k: _infer_type(v) for k, v in record.items()}
+        return {}
+
+    def read_records(self) -> Iterator[Dict]:
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+
+class SQLiteSource(Source):
+    """Relational database source: a table or an arbitrary SELECT."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str, table: Optional[str] = None,
+                 query: Optional[str] = None):
+        if (table is None) == (query is None):
+            raise IngestionError("pass exactly one of table= or query=")
+        self.path = path
+        self.query = query or f"SELECT * FROM {table}"  # noqa: S608 - local
+
+    def _connect(self):
+        return sqlite3.connect(self.path)
+
+    def discover(self) -> Dict[str, str]:
+        with self._connect() as conn:
+            cur = conn.execute(self.query)
+            row = cur.fetchone()
+            if row is None:
+                return {d[0]: "str" for d in cur.description}
+            return {
+                d[0]: _infer_type(v)
+                for d, v in zip(cur.description, row)
+            }
+
+    def read_records(self) -> Iterator[Dict]:
+        with self._connect() as conn:
+            cur = conn.execute(self.query)
+            cols = [d[0] for d in cur.description]
+            for row in cur:
+                yield dict(zip(cols, row))
+
+
+class ParquetLikeSource(Source):
+    """Columnar table source (the LAION URL-table scenario, §6.5)."""
+
+    name = "parquet"
+
+    def __init__(self, storage: StorageProvider, key: str):
+        self.file = ParquetLikeFile(storage, key)
+
+    def discover(self) -> Dict[str, str]:
+        mapping = {"int64": "int", "float64": "float", "str": "str",
+                   "bytes": "bytes"}
+        return {c: mapping[t] for c, t in self.file.schema.items()}
+
+    def read_records(self) -> Iterator[Dict]:
+        for g in range(len(self.file.row_groups)):
+            table = self.file.read(row_groups=[g])
+            n = len(next(iter(table.values()))) if table else 0
+            for i in range(n):
+                yield {c: table[c][i] for c in table}
+
+
+class DeepLakeDestination:
+    """Writes record streams into dataset tensors (columnar format)."""
+
+    _HTYPE = {
+        "int": dict(htype="generic", dtype="int64"),
+        "float": dict(htype="generic", dtype="float64"),
+        "str": dict(htype="text"),
+        "json": dict(htype="json"),
+        "bytes": dict(htype="generic", dtype="uint8"),
+    }
+
+    def __init__(self, ds, tensor_prefix: str = ""):
+        self.ds = ds
+        self.prefix = tensor_prefix
+
+    def _tensor_name(self, field: str) -> str:
+        name = field.replace(" ", "_")
+        return f"{self.prefix}{name}"
+
+    def prepare(self, schema: Dict[str, str]) -> List[str]:
+        names = []
+        for field, ftype in schema.items():
+            name = self._tensor_name(field)
+            if name not in self.ds._meta.tensors:
+                kwargs = dict(self._HTYPE.get(ftype, self._HTYPE["json"]))
+                self.ds.create_tensor(
+                    name, create_shape_tensor=False, create_id_tensor=False,
+                    **kwargs,
+                )
+            names.append(name)
+        return names
+
+    def write(self, records: Iterator[Dict], schema: Dict[str, str],
+              limit: Optional[int] = None) -> int:
+        self.prepare(schema)
+        count = 0
+        for record in records:
+            if limit is not None and count >= limit:
+                break
+            for field, ftype in schema.items():
+                value = record.get(field)
+                name = self._tensor_name(field)
+                self.ds._append_with_id(name, _to_sample(value, ftype))
+            count += 1
+        self.ds.flush()
+        return count
+
+
+def _to_sample(value, ftype: str):
+    if ftype == "int":
+        return np.int64(0 if value is None else value)
+    if ftype == "float":
+        return np.float64(np.nan if value is None else value)
+    if ftype == "str":
+        return "" if value is None else str(value)
+    if ftype == "bytes":
+        data = b"" if value is None else bytes(value)
+        return np.frombuffer(data, dtype=np.uint8).copy()
+    return value if value is not None else {}
+
+
+# ---------------------------------------------------------------------------
+# one-call helpers
+# ---------------------------------------------------------------------------
+
+
+def ingest_source(source: Source, ds, limit: Optional[int] = None) -> int:
+    """Discover schema, create tensors, stream all records."""
+    schema = source.discover()
+    if not schema:
+        raise IngestionError(f"{source.name} source has no records")
+    dest = DeepLakeDestination(ds)
+    return dest.write(source.read_records(), schema, limit=limit)
+
+
+def ingest_csv(path: str, ds, **kw) -> int:
+    return ingest_source(CSVSource(path), ds, **kw)
+
+
+def ingest_jsonl(path: str, ds, **kw) -> int:
+    return ingest_source(JSONLSource(path), ds, **kw)
+
+
+def ingest_sqlite(path: str, ds, table: Optional[str] = None,
+                  query: Optional[str] = None, **kw) -> int:
+    return ingest_source(SQLiteSource(path, table=table, query=query), ds, **kw)
+
+
+def ingest_imagefolder(root: str, ds, compression: str = "jpeg") -> int:
+    """Folder-of-encoded-images -> (images, labels) tensors.
+
+    Payloads whose codec matches the target compression are copied into
+    chunks without decode (§5's direct-copy fast path).
+    """
+    from repro.core.sample import Sample
+    from repro.storage.local import LocalProvider
+
+    local = LocalProvider(root)
+    if "images" not in ds._meta.tensors:
+        ds.create_tensor("images", htype="image",
+                         sample_compression=compression)
+    if "labels" not in ds._meta.tensors:
+        ds.create_tensor("labels", htype="class_label",
+                         chunk_compression="lz4")
+    count = 0
+    for key in local.list_prefix(""):
+        parts = key.split("/")
+        if len(parts) < 2 or not parts[0].startswith("class_"):
+            continue
+        label = int(parts[0].split("_")[1])
+        payload = local[key]
+        ds._append_with_id("images", Sample(buffer=payload, path=key))
+        ds._append_with_id("labels", np.int32(label))
+        count += 1
+    ds.flush()
+    return count

@@ -1,0 +1,5 @@
+"""Deep-learning framework handover (PyTorch/TensorFlow/JAX stand-ins)."""
+
+from repro.integrations.frameworks import BACKENDS, DeviceTensor, to_backend
+
+__all__ = ["BACKENDS", "DeviceTensor", "to_backend"]

@@ -1,0 +1,78 @@
+"""Framework handover layer (PyTorch / TensorFlow / JAX stand-ins).
+
+The real frameworks are unavailable offline, so the handover contract is
+reproduced with a minimal device-tagged tensor type: zero-copy wrapping of
+the collated numpy buffer, ``.numpy()`` back-conversion, device moves that
+account transfer bytes (the Fig 9/10 sims read these counters).  See
+DESIGN.md §1 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+BACKENDS = ("numpy", "torch", "tensorflow", "jax")
+
+
+class DeviceTensor:
+    """Minimal framework-tensor: numpy buffer + backend + device tag."""
+
+    __slots__ = ("_array", "backend", "device")
+
+    def __init__(self, array: np.ndarray, backend: str, device: str = "cpu"):
+        self._array = np.asarray(array)
+        self.backend = backend
+        self.device = device
+
+    # the handover is zero-copy: wrapping never copies the buffer
+    def numpy(self) -> np.ndarray:
+        return self._array
+
+    @property
+    def shape(self):
+        return self._array.shape
+
+    @property
+    def dtype(self):
+        return self._array.dtype
+
+    def to(self, device: str) -> "DeviceTensor":
+        """Device move (H2D copy is what GPU feeding pays for)."""
+        return DeviceTensor(self._array, self.backend, device)
+
+    def __array__(self, dtype=None):
+        return self._array if dtype is None else self._array.astype(dtype)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceTensor(backend={self.backend!r}, device={self.device!r}, "
+            f"shape={self._array.shape}, dtype={self._array.dtype})"
+        )
+
+
+def to_backend(batch: Dict[str, object], backend: Optional[str]) -> Dict[str, object]:
+    """Convert a collated batch into the target framework's tensors.
+
+    ``numpy``/None passes through; other backends wrap arrays in
+    :class:`DeviceTensor` with the expected memory layout (C-contiguous).
+    """
+    if backend in (None, "numpy"):
+        return batch
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    out: Dict[str, object] = {}
+    for key, value in batch.items():
+        if isinstance(value, np.ndarray):
+            out[key] = DeviceTensor(np.ascontiguousarray(value), backend)
+        elif isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            out[key] = [
+                DeviceTensor(np.ascontiguousarray(v), backend) for v in value
+            ]
+        else:
+            out[key] = value
+    return out

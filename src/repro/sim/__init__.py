@@ -1,0 +1,37 @@
+"""Cloud/GPU simulation substrate.
+
+The paper's evaluation runs on AWS (S3, V100/A100 instances) and a LAN
+MinIO deployment.  This package provides the synthetic equivalents:
+
+- :class:`SimClock` — a virtual clock that providers charge transfer time
+  to, optionally mirrored into *scaled real sleeps* so genuinely concurrent
+  threads (the prefetcher) overlap their waits exactly like real I/O.
+- :class:`NetworkModel` — first-byte latency + bandwidth + per-request
+  overhead, with presets for local FS, same-region S3, LAN MinIO and
+  cross-region links (Fig 8-10).
+- :class:`GPUModel` — seconds-per-batch accelerator model with busy/stall
+  accounting (Fig 9/10 utilization curves).
+- :class:`TrainingPipelineSim` — analytic overlapped-pipeline model for the
+  three cloud access modes of Fig 9 (File Mode, Fast File Mode, streaming).
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.network import NetworkModel, NETWORK_PRESETS, FlakyNetwork
+from repro.sim.gpu import GPUModel, UtilizationTrace
+from repro.sim.training import (
+    AccessMode,
+    TrainingPipelineSim,
+    TrainingRunResult,
+)
+
+__all__ = [
+    "SimClock",
+    "NetworkModel",
+    "NETWORK_PRESETS",
+    "FlakyNetwork",
+    "GPUModel",
+    "UtilizationTrace",
+    "AccessMode",
+    "TrainingPipelineSim",
+    "TrainingRunResult",
+]

@@ -1,0 +1,93 @@
+"""Accelerator compute model with utilization accounting.
+
+Fig 9/10 of the paper ask one question of the data pipeline: *can it hide
+its latency behind the model's forward/backward step?*  For that question
+only the per-batch step time and the busy/stall bookkeeping matter, so a
+GPU is modelled as a device that is busy for ``step_time_s`` per batch and
+stalled while waiting for data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class UtilizationTrace:
+    """Busy/stall timeline of one simulated device."""
+
+    device: str = "gpu0"
+    #: (t_start, t_end, state) with state in {"busy", "stall"}
+    segments: List[Tuple[float, float, str]] = field(default_factory=list)
+
+    def record(self, start: float, end: float, state: str) -> None:
+        if end > start:
+            self.segments.append((float(start), float(end), state))
+
+    @property
+    def total_time(self) -> float:
+        if not self.segments:
+            return 0.0
+        return self.segments[-1][1] - self.segments[0][0]
+
+    @property
+    def busy_time(self) -> float:
+        return sum(e - s for s, e, st in self.segments if st == "busy")
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of wall time the device spent computing (0..1)."""
+        total = self.total_time
+        return self.busy_time / total if total > 0 else 0.0
+
+    def timeline(self, n_points: int = 100) -> np.ndarray:
+        """Utilization sampled over *n_points* windows (the Fig 10 curves)."""
+        total = self.total_time
+        if total <= 0 or not self.segments:
+            return np.zeros(n_points)
+        t0 = self.segments[0][0]
+        edges = np.linspace(0.0, total, n_points + 1)
+        out = np.zeros(n_points)
+        for s, e, st in self.segments:
+            if st != "busy":
+                continue
+            s -= t0
+            e -= t0
+            lo = np.searchsorted(edges, s, side="right") - 1
+            hi = np.searchsorted(edges, e, side="left")
+            for w in range(max(lo, 0), min(hi, n_points)):
+                overlap = min(e, edges[w + 1]) - max(s, edges[w])
+                if overlap > 0:
+                    out[w] += overlap
+        widths = np.diff(edges)
+        return out / widths
+
+
+@dataclass
+class GPUModel:
+    """A device that takes ``step_time_s`` of compute per batch.
+
+    Presets follow the paper's hardware: a V100 doing supervised ImageNet
+    (Fig 9) and an A100 doing 1B-parameter CLIP contrastive steps (Fig 10).
+    """
+
+    name: str = "v100"
+    step_time_s: float = 0.11  # seconds per batch
+    batch_size: int = 64
+
+    @classmethod
+    def v100_imagenet(cls, batch_size: int = 64) -> "GPUModel":
+        # ~580 img/s for ResNet-50-class training on one V100.
+        return cls(name="v100", step_time_s=batch_size / 580.0, batch_size=batch_size)
+
+    @classmethod
+    def a100_clip_1b(cls, batch_size: int = 96) -> "GPUModel":
+        # ~320 img/s per A100 for a 1B-param CLIP tower pair.
+        return cls(name="a100", step_time_s=batch_size / 320.0, batch_size=batch_size)
+
+    @property
+    def images_per_second(self) -> float:
+        return self.batch_size / self.step_time_s

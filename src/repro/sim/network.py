@@ -1,0 +1,146 @@
+"""Parametric network model used by the simulated object stores.
+
+The model reduces a storage request to the four quantities that drive every
+experiment in the paper's evaluation: per-request overhead (connection/auth/
+HTTP), first-byte latency, sustained bandwidth, and jitter.  Presets encode
+the storage locations of Fig 8 (local FS, same-region S3, LAN MinIO) and the
+cross-region link of Fig 10 (AWS us-east -> GCP us-central).
+
+Numbers are representative public figures, not measurements; benchmarks
+compare *shapes* (who wins, crossovers), not absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import TransientNetworkError
+
+
+@dataclass
+class NetworkModel:
+    """Transfer-time model: ``overhead + latency + nbytes / bandwidth``.
+
+    Attributes
+    ----------
+    latency_s:
+        Time to first byte for a GET/PUT (round trip + service time).
+    bandwidth_bps:
+        Sustained throughput in bytes/second for the payload.
+    request_overhead_s:
+        Fixed per-request cost (TLS/auth/HTTP framing).  Dominates when a
+        workload issues many small requests — exactly the failure mode of
+        one-file-per-sample layouts on object storage (§2.3).
+    jitter:
+        Fractional lognormal-ish jitter applied to the total (0 disables).
+    name:
+        Human-readable label for reports.
+    """
+
+    latency_s: float = 0.0
+    bandwidth_bps: float = float("inf")
+    request_overhead_s: float = 0.0
+    jitter: float = 0.0
+    name: str = "custom"
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.seed)
+
+    def transfer_time(self, nbytes: int, n_requests: int = 1) -> float:
+        """Virtual seconds to move *nbytes* in *n_requests* operations."""
+        base = n_requests * (self.request_overhead_s + self.latency_s)
+        if self.bandwidth_bps != float("inf"):
+            base += nbytes / self.bandwidth_bps
+        if self.jitter:
+            base *= float(1.0 + self.jitter * abs(self._rng.standard_normal()))
+        return base
+
+    def scaled(self, latency_mult: float = 1.0, bandwidth_mult: float = 1.0) -> "NetworkModel":
+        """Derive a model with scaled parameters (for parameter sweeps)."""
+        return NetworkModel(
+            latency_s=self.latency_s * latency_mult,
+            bandwidth_bps=self.bandwidth_bps * bandwidth_mult,
+            request_overhead_s=self.request_overhead_s * latency_mult,
+            jitter=self.jitter,
+            name=f"{self.name}*",
+            seed=self.seed,
+        )
+
+
+def _mib(x: float) -> float:
+    return x * 1024 * 1024
+
+
+#: Presets for the storage locations in the paper's evaluation.
+NETWORK_PRESETS: dict[str, NetworkModel] = {
+    # NVMe-backed local filesystem: negligible latency, very high bandwidth.
+    "local": NetworkModel(
+        latency_s=50e-6,
+        bandwidth_bps=_mib(2000),
+        request_overhead_s=10e-6,
+        name="local",
+    ),
+    # Same-region S3: moderate first-byte latency, high aggregate bandwidth.
+    "s3": NetworkModel(
+        latency_s=15e-3,
+        bandwidth_bps=_mib(700),
+        request_overhead_s=5e-3,
+        name="s3",
+    ),
+    # MinIO on another machine in a LAN (Fig 8): low RTT but a slower
+    # gateway — higher per-request overhead and lower sustained bandwidth
+    # than S3's fleet, which is why both WebDataset and Deep Lake slow down
+    # against MinIO in the paper.
+    "minio": NetworkModel(
+        latency_s=8e-3,
+        bandwidth_bps=_mib(220),
+        request_overhead_s=12e-3,
+        name="minio",
+    ),
+    # Cross-region / cross-cloud (Fig 10: AWS us-east -> GCP us-central).
+    "cross-region": NetworkModel(
+        latency_s=35e-3,
+        bandwidth_bps=_mib(350),
+        request_overhead_s=8e-3,
+        name="cross-region",
+    ),
+}
+
+
+class FlakyNetwork:
+    """Failure-injection wrapper: raises transient errors at a given rate.
+
+    Storage providers retry with backoff; tests assert both the retry path
+    and eventual success/failure.
+    """
+
+    def __init__(self, model: NetworkModel, failure_rate: float, seed: int = 0,
+                 max_consecutive: Optional[int] = None):
+        self.model = model
+        self.failure_rate = float(failure_rate)
+        self.max_consecutive = max_consecutive
+        self._rng = np.random.default_rng(seed)
+        self._consecutive = 0
+        self.failures_injected = 0
+
+    @property
+    def name(self) -> str:
+        return f"flaky({self.model.name})"
+
+    def transfer_time(self, nbytes: int, n_requests: int = 1) -> float:
+        fail = self._rng.random() < self.failure_rate
+        if fail and self.max_consecutive is not None:
+            fail = self._consecutive < self.max_consecutive
+        if fail:
+            self._consecutive += 1
+            self.failures_injected += 1
+            raise TransientNetworkError(
+                f"injected network failure #{self.failures_injected}"
+            )
+        self._consecutive = 0
+        return self.model.transfer_time(nbytes, n_requests)

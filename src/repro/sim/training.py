@@ -1,0 +1,213 @@
+"""Analytic overlapped-pipeline model of cloud training (Fig 9 and Fig 10).
+
+The paper compares three ways of feeding a GPU from object storage:
+
+- **File Mode** ("AWS File Mode"): copy the whole dataset file-by-file to
+  local disk, then train from local files.  Training starts late but runs
+  at local speed.
+- **Fast File Mode**: start immediately, fetch each file on demand through
+  a FUSE-like layer.  Training starts instantly but every sample pays a
+  per-request penalty forever.
+- **Deep Lake streaming**: fetch ~8 MB chunks with a prefetching worker
+  pool; requests are two orders of magnitude fewer and large enough to
+  reach full bandwidth, so fetching hides under compute.
+
+The model is a two-stage pipeline: a data stage that produces batches at a
+steady-state interval (warm-up = one full fetch) and a compute stage that
+consumes them.  GPU busy/stall segments are recorded per device, which is
+exactly what Fig 9 (epoch times) and Fig 10 (utilization curves) plot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.gpu import GPUModel, UtilizationTrace
+from repro.sim.network import NetworkModel
+
+
+class AccessMode(enum.Enum):
+    FILE_MODE = "file-mode"
+    FAST_FILE = "fast-file"
+    DEEPLAKE_STREAM = "deeplake"
+
+
+@dataclass
+class TrainingRunResult:
+    """Outcome of one simulated training run."""
+
+    mode: str
+    epoch_time_s: float
+    time_to_first_batch_s: float
+    images_per_second: float
+    gpu_utilization: float
+    traces: List[UtilizationTrace] = field(default_factory=list)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> dict:
+        """Flat dict for benchmark report tables."""
+        return {
+            "mode": self.mode,
+            "epoch_time_s": round(self.epoch_time_s, 2),
+            "first_batch_s": round(self.time_to_first_batch_s, 3),
+            "img_per_s": round(self.images_per_second, 1),
+            "gpu_util_pct": round(100 * self.gpu_utilization, 1),
+        }
+
+
+@dataclass
+class WorkloadSpec:
+    """Dataset shape as seen by the data plane."""
+
+    n_samples: int
+    bytes_per_sample: int  # compressed/encoded on storage
+    files_per_sample: float = 1.0  # file-per-sample layouts; <1 if bundled
+    decode_time_per_sample_s: float = 0.0  # CPU decode cost
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_samples * self.bytes_per_sample
+
+
+class TrainingPipelineSim:
+    """Simulate one epoch of training under a given access mode."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        network: NetworkModel,
+        gpu: GPUModel,
+        *,
+        n_gpus: int = 1,
+        num_workers: int = 8,
+        chunk_bytes: int = 8 * 1024 * 1024,
+        local_network: NetworkModel | None = None,
+        cpu_workers: int = 8,
+    ):
+        self.workload = workload
+        self.network = network
+        self.gpu = gpu
+        self.n_gpus = max(1, int(n_gpus))
+        self.num_workers = max(1, int(num_workers))
+        self.chunk_bytes = int(chunk_bytes)
+        self.local_network = local_network or NetworkModel(
+            latency_s=50e-6, bandwidth_bps=2000 * 1024 * 1024,
+            request_overhead_s=10e-6, name="local",
+        )
+        self.cpu_workers = max(1, int(cpu_workers))
+
+    # ------------------------------------------------------------------ #
+    # per-mode batch production intervals
+    # ------------------------------------------------------------------ #
+
+    def _batch_bytes(self) -> int:
+        return self.gpu.batch_size * self.workload.bytes_per_sample
+
+    def _decode_time_per_batch(self) -> float:
+        # Decode parallelises across cpu workers (GIL released in codecs).
+        total = self.workload.decode_time_per_sample_s * self.gpu.batch_size
+        return total / self.cpu_workers
+
+    #: FUSE-style per-file access layers serialise much of the request
+    #: path; effective request concurrency is capped well below the
+    #: loader's worker count (the reason Fast File trains slowly forever)
+    FAST_FILE_CONCURRENCY = 8
+
+    def _production_interval(self, mode: AccessMode, network: NetworkModel) -> float:
+        """Steady-state seconds between consecutive ready batches (per GPU)."""
+        batch_bytes = self._batch_bytes()
+        if mode is AccessMode.FAST_FILE:
+            # one request per file through the FUSE-like layer
+            reqs = self.workload.files_per_sample * self.gpu.batch_size
+            t = network.transfer_time(batch_bytes, n_requests=int(max(1, reqs)))
+            workers = min(self.num_workers, self.FAST_FILE_CONCURRENCY)
+        else:
+            # chunked: a batch spans ceil(batch_bytes / chunk) ranged GETs
+            reqs = max(1, -(-batch_bytes // self.chunk_bytes))
+            t = network.transfer_time(batch_bytes, n_requests=reqs)
+            workers = self.num_workers
+        t = t / workers + self._decode_time_per_batch()
+        return t
+
+    # ------------------------------------------------------------------ #
+    # main entry
+    # ------------------------------------------------------------------ #
+
+    def run_epoch(self, mode: AccessMode) -> TrainingRunResult:
+        """Simulate one epoch and return timings + per-GPU traces."""
+        per_gpu_samples = self.workload.n_samples // self.n_gpus
+        n_batches = max(1, per_gpu_samples // self.gpu.batch_size)
+
+        # Aggregate bandwidth is shared across GPUs' loaders.
+        shared = self.network
+        if self.n_gpus > 1:
+            shared = NetworkModel(
+                latency_s=self.network.latency_s,
+                bandwidth_bps=self.network.bandwidth_bps / self.n_gpus,
+                request_overhead_s=self.network.request_overhead_s,
+                jitter=self.network.jitter,
+                name=self.network.name,
+                seed=self.network.seed,
+            )
+
+        breakdown: Dict[str, float] = {}
+        if mode is AccessMode.FILE_MODE:
+            # Phase 1: copy everything down, file by file, workers overlap.
+            n_files = int(self.workload.n_samples * self.workload.files_per_sample)
+            download = shared.transfer_time(
+                self.workload.total_bytes, n_requests=max(1, n_files)
+            ) / self.num_workers
+            breakdown["download_s"] = download
+            warmup = download
+            interval = self._production_interval(mode, self.local_network)
+        elif mode is AccessMode.FAST_FILE:
+            warmup = shared.transfer_time(
+                self._batch_bytes(),
+                n_requests=int(max(1, self.workload.files_per_sample * self.gpu.batch_size)),
+            )
+            interval = self._production_interval(mode, shared)
+        elif mode is AccessMode.DEEPLAKE_STREAM:
+            reqs = max(1, -(-self._batch_bytes() // self.chunk_bytes))
+            warmup = shared.transfer_time(self._batch_bytes(), n_requests=reqs)
+            interval = self._production_interval(mode, shared)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(mode)
+
+        traces = []
+        first_batch = warmup + interval
+        for g in range(self.n_gpus):
+            trace = UtilizationTrace(device=f"gpu{g}")
+            prev_end = 0.0
+            for b in range(n_batches):
+                available = warmup + (b + 1) * interval
+                start = max(available, prev_end)
+                if start > prev_end:
+                    trace.record(prev_end, start, "stall")
+                end = start + self.gpu.step_time_s
+                trace.record(start, end, "busy")
+                prev_end = end
+            traces.append(trace)
+
+        epoch_time = max(t.segments[-1][1] for t in traces)
+        images = n_batches * self.gpu.batch_size * self.n_gpus
+        util = sum(t.utilization for t in traces) / len(traces)
+        breakdown.update(
+            warmup_s=warmup,
+            steady_interval_s=interval,
+            step_time_s=self.gpu.step_time_s,
+            n_batches=float(n_batches),
+        )
+        return TrainingRunResult(
+            mode=mode.value,
+            epoch_time_s=epoch_time,
+            time_to_first_batch_s=first_batch,
+            images_per_second=images / epoch_time,
+            gpu_utilization=util,
+            traces=traces,
+            breakdown=breakdown,
+        )
+
+    def run_all_modes(self) -> Dict[str, TrainingRunResult]:
+        return {mode.value: self.run_epoch(mode) for mode in AccessMode}

@@ -1,0 +1,31 @@
+"""Storage providers: memory, local FS, simulated object stores, LRU cache.
+
+See §3.6 of the paper ("Storage Providers").  Everything implements
+:class:`~repro.storage.provider.StorageProvider`, a flat key→bytes mapping
+with ranged reads, so components compose freely and caches chain.
+"""
+
+from repro.storage.provider import StorageProvider, StorageStats, clamp_range
+from repro.storage.memory import MemoryProvider
+from repro.storage.local import LocalProvider
+from repro.storage.object_store import SimulatedObjectStore, make_object_store
+from repro.storage.lru_cache import LRUCache
+from repro.storage.router import (
+    PrefixedProvider,
+    clear_simulated_buckets,
+    storage_from_url,
+)
+
+__all__ = [
+    "StorageProvider",
+    "StorageStats",
+    "clamp_range",
+    "MemoryProvider",
+    "LocalProvider",
+    "SimulatedObjectStore",
+    "make_object_store",
+    "LRUCache",
+    "PrefixedProvider",
+    "storage_from_url",
+    "clear_simulated_buckets",
+]

@@ -1,0 +1,157 @@
+"""Chainable LRU cache provider (§3.6: "memory caching by chaining various
+storage providers together, for instance the LRU cache of remote S3 storage
+with local in-memory data").
+
+The cache is itself a :class:`StorageProvider`, so arbitrary chains compose:
+``LRUCache(MemoryProvider(), LRUCache(LocalProvider(...), S3(...)))``.
+
+Policies
+--------
+- Reads fill the cache and refresh recency; eviction is strict LRU by
+  payload size against ``cache_size`` bytes.
+- Ranged reads on uncached keys pass through *without* filling the cache:
+  streaming sub-ranges of multi-MB chunks must not thrash the cache.
+- Writes go to the cache and are tracked dirty; ``write_through=True``
+  (default) also pushes downstream immediately, otherwise :meth:`flush`
+  pushes all dirty keys (write-back).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Set
+
+from repro.exceptions import KeyNotFound
+from repro.storage.provider import StorageProvider, clamp_range
+
+
+class LRUCache(StorageProvider):
+    """LRU byte-budgeted cache in front of a slower provider."""
+
+    def __init__(
+        self,
+        cache_storage: StorageProvider,
+        next_storage: StorageProvider,
+        cache_size: int,
+        write_through: bool = True,
+    ):
+        super().__init__()
+        self.cache_storage = cache_storage
+        self.next_storage = next_storage
+        self.cache_size = int(cache_size)
+        self.write_through = write_through
+        self._order: "OrderedDict[str, int]" = OrderedDict()  # key -> nbytes
+        self._dirty: Set[str] = set()
+        self.cache_used = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _touch(self, key: str) -> None:
+        self._order.move_to_end(key)
+
+    def _evict_until_fits(self, incoming: int) -> None:
+        while self._order and self.cache_used + incoming > self.cache_size:
+            old_key, old_size = self._order.popitem(last=False)
+            if old_key in self._dirty:
+                self.next_storage[old_key] = self.cache_storage._get(
+                    old_key, None, None
+                )
+                self._dirty.discard(old_key)
+            self.cache_storage._delete(old_key)
+            self.cache_used -= old_size
+
+    def _insert(self, key: str, value: bytes, dirty: bool) -> None:
+        if len(value) > self.cache_size:
+            # Oversized blobs bypass the cache entirely.
+            if dirty:
+                self.next_storage[key] = value
+            return
+        if key in self._order:
+            self.cache_used -= self._order.pop(key)
+            self.cache_storage._delete(key)
+            self._dirty.discard(key)
+        self._evict_until_fits(len(value))
+        self.cache_storage._set(key, value)
+        self._order[key] = len(value)
+        self.cache_used += len(value)
+        if dirty:
+            self._dirty.add(key)
+
+    # ------------------------------------------------------------------ #
+    # provider interface
+    # ------------------------------------------------------------------ #
+
+    def _get(self, key: str, start: Optional[int], end: Optional[int]) -> bytes:
+        if key in self._order:
+            self.hits += 1
+            self._touch(key)
+            blob = self.cache_storage._get(key, None, None)
+            if start is None and end is None:
+                return blob
+            s, e = clamp_range(len(blob), start, end)
+            return blob[s:e]
+        self.misses += 1
+        if start is not None or end is not None:
+            # ranged miss: pass through, do not pollute the cache
+            return self.next_storage.get_bytes(key, start, end)
+        value = self.next_storage[key]
+        self._insert(key, value, dirty=False)
+        return value
+
+    def _set(self, key: str, value: bytes) -> None:
+        if self.write_through:
+            self.next_storage[key] = value
+            self._insert(key, value, dirty=False)
+        else:
+            self._insert(key, value, dirty=True)
+            if len(value) > self.cache_size:
+                return  # _insert already forwarded oversize blobs
+
+    def _delete(self, key: str) -> None:
+        found = False
+        if key in self._order:
+            self.cache_used -= self._order.pop(key)
+            self.cache_storage._delete(key)
+            self._dirty.discard(key)
+            found = True
+        try:
+            del self.next_storage[key]
+            found = True
+        except KeyError:
+            pass
+        if not found:
+            raise KeyNotFound(key)
+
+    def _all_keys(self) -> Set[str]:
+        return set(self._order) | self.next_storage._all_keys()
+
+    def flush(self) -> None:
+        """Write back all dirty keys, then flush downstream."""
+        for key in sorted(self._dirty):
+            self.next_storage[key] = self.cache_storage._get(key, None, None)
+        self._dirty.clear()
+        self.next_storage.flush()
+
+    def clear_cache(self) -> None:
+        """Drop the cache tier (flushing dirty keys first)."""
+        self.flush()
+        for key in list(self._order):
+            self.cache_storage._delete(key)
+        self._order.clear()
+        self.cache_used = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(used={self.cache_used}/{self.cache_size}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"next={self.next_storage!r})"
+        )

@@ -1,0 +1,129 @@
+"""Simulated cloud object storage (stands in for AWS S3 / GCS / MinIO).
+
+The paper's cloud experiments need an object store whose *performance
+characteristics* — per-request overhead, first-byte latency, bandwidth —
+shape the results.  :class:`SimulatedObjectStore` wraps any terminal
+provider (memory by default, or :class:`~repro.storage.local.LocalProvider`
+for durability) and charges every operation's modelled transfer time to a
+:class:`~repro.sim.clock.SimClock`.
+
+With ``clock.time_scale > 0`` the charge includes a scaled real sleep, so
+the *actual* dataloader code exercising this provider from concurrent
+prefetch threads reproduces cloud pipeline behaviour in miniature.
+
+Transient failures (from :class:`~repro.sim.network.FlakyNetwork`) are
+retried with exponential backoff, like a production S3 client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.exceptions import NetworkError, TransientNetworkError
+from repro.sim.clock import SimClock
+from repro.sim.network import NETWORK_PRESETS, NetworkModel
+from repro.storage.memory import MemoryProvider
+from repro.storage.provider import StorageProvider
+
+
+class SimulatedObjectStore(StorageProvider):
+    """Object store = terminal provider + network cost model + retries."""
+
+    def __init__(
+        self,
+        name: str = "s3",
+        network: NetworkModel | None = None,
+        clock: SimClock | None = None,
+        backing: StorageProvider | None = None,
+        max_retries: int = 4,
+        backoff_s: float = 0.05,
+    ):
+        super().__init__()
+        self.name = name
+        self.network = network or NETWORK_PRESETS.get(name, NETWORK_PRESETS["s3"])
+        self.clock = clock or SimClock()
+        self.backing = backing if backing is not None else MemoryProvider(name)
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.retries_performed = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _charge(self, nbytes: int, category: str) -> None:
+        """Charge one request's transfer time, retrying injected failures."""
+        attempt = 0
+        while True:
+            try:
+                dt = self.network.transfer_time(nbytes, n_requests=1)
+                self.clock.charge(dt, category)
+                return
+            except TransientNetworkError:
+                attempt += 1
+                self.retries_performed += 1
+                if attempt > self.max_retries:
+                    raise NetworkError(
+                        f"{self.name}: request failed after "
+                        f"{self.max_retries} retries"
+                    ) from None
+                # exponential backoff also costs (virtual) time
+                self.clock.charge(self.backoff_s * (2 ** (attempt - 1)), "backoff")
+
+    def _get(self, key: str, start: Optional[int], end: Optional[int]) -> bytes:
+        data = self.backing._get(key, start, end)
+        self._charge(len(data), "download")
+        return data
+
+    def _set(self, key: str, value: bytes) -> None:
+        self._charge(len(value), "upload")
+        self.backing._set(key, value)
+
+    def _delete(self, key: str) -> None:
+        self._charge(0, "delete")
+        self.backing._delete(key)
+
+    def _all_keys(self) -> Set[str]:
+        # LIST is paginated at 1000 keys/request on real S3.
+        keys = self.backing._all_keys()
+        pages = max(1, -(-len(keys) // 1000))
+        for _ in range(pages):
+            self._charge(0, "list")
+        return keys
+
+    def nbytes(self) -> int:
+        return self.backing.nbytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedObjectStore(name={self.name!r}, "
+            f"network={self.network.name!r}, keys={len(self.backing._all_keys())})"
+        )
+
+
+def make_object_store(
+    kind: str,
+    clock: SimClock | None = None,
+    backing: StorageProvider | None = None,
+    **overrides,
+) -> SimulatedObjectStore:
+    """Build a preset-configured store: ``kind`` in s3|gcs|minio|cross-region.
+
+    GCS shares S3's model with slightly different constants.
+    """
+    presets = dict(NETWORK_PRESETS)
+    presets["gcs"] = presets["s3"].scaled(latency_mult=1.1)
+    presets["gcs"].name = "gcs"
+    if kind not in presets:
+        raise ValueError(f"unknown object-store preset {kind!r}; "
+                         f"expected one of {sorted(presets)}")
+    network = presets[kind]
+    if overrides:
+        network = NetworkModel(
+            latency_s=overrides.get("latency_s", network.latency_s),
+            bandwidth_bps=overrides.get("bandwidth_bps", network.bandwidth_bps),
+            request_overhead_s=overrides.get(
+                "request_overhead_s", network.request_overhead_s
+            ),
+            jitter=overrides.get("jitter", network.jitter),
+            name=kind,
+        )
+    return SimulatedObjectStore(kind, network=network, clock=clock, backing=backing)

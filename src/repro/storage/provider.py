@@ -1,0 +1,189 @@
+"""Abstract storage provider: a flat mutable mapping of key -> bytes.
+
+Every Deep Lake component talks to storage through this interface, so a
+dataset can live in memory, on a POSIX filesystem, or on (simulated) object
+storage interchangeably (§3.6).  Two capabilities beyond a plain mapping
+matter for the paper's access patterns:
+
+- **ranged reads** (:meth:`get_bytes`): the streaming dataloader and the
+  tile-pyramid visualizer fetch sub-ranges of 8 MB chunks instead of whole
+  blobs ("range-based requests to access sub-elements inside chunks", §3.5);
+- **request accounting** (:attr:`stats`): the benchmarks reason about
+  request counts and bytes moved, which is what separates the baselines on
+  object storage.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, MutableMapping, Optional, Set
+
+from repro.exceptions import ReadOnlyStorageError
+
+
+@dataclass
+class StorageStats:
+    """Counters of traffic that flowed through a provider."""
+
+    get_requests: int = 0
+    put_requests: int = 0
+    delete_requests: int = 0
+    list_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_get(self, nbytes: int) -> None:
+        with self._lock:
+            self.get_requests += 1
+            self.bytes_read += nbytes
+
+    def record_put(self, nbytes: int) -> None:
+        with self._lock:
+            self.put_requests += 1
+            self.bytes_written += nbytes
+
+    def record_delete(self) -> None:
+        with self._lock:
+            self.delete_requests += 1
+
+    def record_list(self) -> None:
+        with self._lock:
+            self.list_requests += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.get_requests = 0
+            self.put_requests = 0
+            self.delete_requests = 0
+            self.list_requests = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "get_requests": self.get_requests,
+                "put_requests": self.put_requests,
+                "delete_requests": self.delete_requests,
+                "list_requests": self.list_requests,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+            }
+
+
+class StorageProvider(ABC, MutableMapping):
+    """Flat key/value blob store with ranged reads and traffic stats."""
+
+    def __init__(self):
+        self.read_only = False
+        self.stats = StorageStats()
+
+    # -- write protection ------------------------------------------------
+
+    def enable_readonly(self) -> None:
+        self.read_only = True
+
+    def disable_readonly(self) -> None:
+        self.read_only = False
+
+    def check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyStorageError(
+                f"{type(self).__name__} is opened in read-only mode"
+            )
+
+    # -- abstract core ----------------------------------------------------
+
+    @abstractmethod
+    def _get(self, key: str, start: Optional[int], end: Optional[int]) -> bytes:
+        """Fetch *key*, optionally a [start, end) byte range."""
+
+    @abstractmethod
+    def _set(self, key: str, value: bytes) -> None:
+        ...
+
+    @abstractmethod
+    def _delete(self, key: str) -> None:
+        ...
+
+    @abstractmethod
+    def _all_keys(self) -> Set[str]:
+        ...
+
+    # -- mapping interface --------------------------------------------------
+
+    def __getitem__(self, key: str) -> bytes:
+        data = self._get(key, None, None)
+        self.stats.record_get(len(data))
+        return data
+
+    def get_bytes(
+        self, key: str, start: Optional[int] = None, end: Optional[int] = None
+    ) -> bytes:
+        """Ranged read; ``start``/``end`` follow slice semantics."""
+        data = self._get(key, start, end)
+        self.stats.record_get(len(data))
+        return data
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        self.check_writable()
+        value = bytes(value)
+        self._set(key, value)
+        self.stats.record_put(len(value))
+
+    def __delitem__(self, key: str) -> None:
+        self.check_writable()
+        self._delete(key)
+        self.stats.record_delete()
+
+    def __iter__(self) -> Iterator[str]:
+        self.stats.record_list()
+        return iter(sorted(self._all_keys()))
+
+    def __len__(self) -> int:
+        return len(self._all_keys())
+
+    def __contains__(self, key) -> bool:
+        try:
+            self._get(key, 0, 0)
+            return True
+        except KeyError:
+            return False
+
+    # -- convenience ---------------------------------------------------------
+
+    def list_prefix(self, prefix: str) -> list:
+        """All keys beginning with *prefix*, sorted."""
+        self.stats.record_list()
+        return sorted(k for k in self._all_keys() if k.startswith(prefix))
+
+    def clear(self, prefix: str = "") -> None:  # type: ignore[override]
+        """Delete every key under *prefix* ('' wipes the store)."""
+        self.check_writable()
+        for key in list(self._all_keys()):
+            if key.startswith(prefix):
+                self._delete(key)
+                self.stats.record_delete()
+
+    def flush(self) -> None:
+        """Push buffered writes downstream (no-op for terminal providers)."""
+
+    def nbytes(self) -> int:
+        """Total stored payload size (walks all keys; for tests/reports)."""
+        return sum(len(self._get(k, None, None)) for k in self._all_keys())
+
+
+def clamp_range(
+    length: int, start: Optional[int], end: Optional[int]
+) -> tuple[int, int]:
+    """Resolve slice-style byte range against a blob of *length* bytes."""
+    s = 0 if start is None else (start + length if start < 0 else start)
+    e = length if end is None else (end + length if end < 0 else end)
+    s = max(0, min(s, length))
+    e = max(s, min(e, length))
+    return s, e

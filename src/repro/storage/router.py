@@ -1,0 +1,107 @@
+"""URL → provider routing, mirroring Deep Lake's path scheme.
+
+Supported schemes::
+
+    mem://name                  in-process memory store
+    file:///abs/path or path    local filesystem
+    s3-sim://bucket/prefix      simulated S3
+    gcs-sim://bucket/prefix     simulated GCS
+    minio-sim://bucket/prefix   simulated LAN MinIO
+
+Simulated buckets are process-global so that "remote" datasets persist
+across dataset open/close within one process (like a real bucket would).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+from repro.sim.clock import SimClock
+from repro.storage.lru_cache import LRUCache
+from repro.storage.local import LocalProvider
+from repro.storage.memory import MemoryProvider
+from repro.storage.object_store import SimulatedObjectStore, make_object_store
+from repro.storage.provider import StorageProvider
+
+_BUCKETS: Dict[Tuple[str, str], MemoryProvider] = {}
+_MEM: Dict[str, MemoryProvider] = {}
+_LOCK = threading.Lock()
+
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def _global_bucket(kind: str, bucket: str) -> MemoryProvider:
+    with _LOCK:
+        key = (kind, bucket)
+        if key not in _BUCKETS:
+            _BUCKETS[key] = MemoryProvider(f"{kind}://{bucket}")
+        return _BUCKETS[key]
+
+
+def clear_simulated_buckets() -> None:
+    """Test hook: drop all process-global simulated buckets."""
+    with _LOCK:
+        _BUCKETS.clear()
+        _MEM.clear()
+
+
+class PrefixedProvider(StorageProvider):
+    """View of another provider under a key prefix (bucket sub-paths)."""
+
+    def __init__(self, base: StorageProvider, prefix: str):
+        super().__init__()
+        self.base = base
+        self.prefix = prefix.strip("/")
+        self._p = f"{self.prefix}/" if self.prefix else ""
+
+    def _get(self, key, start, end):
+        return self.base.get_bytes(self._p + key, start, end)
+
+    def _set(self, key, value):
+        self.base[self._p + key] = value
+
+    def _delete(self, key):
+        del self.base[self._p + key]
+
+    def _all_keys(self):
+        n = len(self._p)
+        return {k[n:] for k in self.base._all_keys() if k.startswith(self._p)}
+
+    def flush(self):
+        self.base.flush()
+
+
+def storage_from_url(
+    url: str,
+    clock: SimClock | None = None,
+    cache_bytes: int | None = None,
+) -> StorageProvider:
+    """Resolve *url* to a provider; remote schemes get an LRU memory cache.
+
+    ``cache_bytes=0`` disables caching for remote stores.
+    """
+    if url.startswith("mem://"):
+        name = url[len("mem://"):]
+        with _LOCK:
+            if name not in _MEM:
+                _MEM[name] = MemoryProvider(name)
+            return _MEM[name]
+    for scheme, kind in (("s3-sim://", "s3"), ("gcs-sim://", "gcs"),
+                         ("minio-sim://", "minio")):
+        if url.startswith(scheme):
+            rest = url[len(scheme):]
+            bucket, _, prefix = rest.partition("/")
+            backing = _global_bucket(kind, bucket)
+            store: StorageProvider = make_object_store(
+                kind, clock=clock, backing=backing
+            )
+            if prefix:
+                store = PrefixedProvider(store, prefix)
+            budget = DEFAULT_CACHE_BYTES if cache_bytes is None else cache_bytes
+            if budget:
+                store = LRUCache(MemoryProvider("cache"), store, budget)
+            return store
+    if url.startswith("file://"):
+        return LocalProvider(url[len("file://"):])
+    return LocalProvider(url)

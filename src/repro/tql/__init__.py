@@ -1,0 +1,42 @@
+"""Tensor Query Language: SQL-like queries over multi-dimensional columns.
+
+    view = ds.query('''
+        SELECT images[100:500, 100:500, 0:2] AS crop,
+               NORMALIZE(boxes, [100, 100, 400, 400]) AS box
+        FROM dataset
+        WHERE IOU(boxes, "training/boxes") > 0.95
+        ORDER BY IOU(boxes, "training/boxes")
+        ARRANGE BY labels
+    ''')
+
+Pipeline: :func:`parse` -> :func:`~repro.tql.planner.build_plan`
+(computational graph with CSE, pushdown, shape fast path) ->
+:class:`~repro.tql.executor.Executor` (per-row memoised evaluation) ->
+dataset view or materialised dataset with query lineage.
+"""
+
+from __future__ import annotations
+
+from repro.tql.ast_nodes import Query, unparse
+from repro.tql.executor import Executor
+from repro.tql.parser import parse
+from repro.tql.planner import Plan, build_plan
+
+
+def query(ds, tql: str, optimize: bool = True, seed: int = 0):
+    """Run a TQL query against a dataset/view; returns a dataset.
+
+    ``optimize=False`` disables predicate/projection pushdown and constant
+    folding (used by the ablation benchmark), ``seed`` fixes RANDOM() and
+    SAMPLE BY draws.
+    """
+    ast = parse(tql)
+    target = ds
+    if ast.version:
+        target = ds._at_commit(ds._tree.resolve(ast.version).commit_id)
+    plan = build_plan(target, ast, optimize=optimize)
+    executor = Executor(target, plan, seed=seed)
+    return executor.run(tql.strip())
+
+
+__all__ = ["query", "parse", "unparse", "build_plan", "Plan", "Executor", "Query"]

@@ -1,0 +1,208 @@
+"""AST of the Tensor Query Language.
+
+Nodes carry enough structure for the planner to do structural hashing
+(common-subexpression elimination across WHERE/ORDER BY/projections) and
+for :func:`unparse` to reproduce a canonical query string (tested as a
+parse -> unparse -> parse fixpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+class Expr:
+    """Base expression node."""
+
+    def key(self) -> str:
+        """Structural identity used for CSE."""
+        return unparse_expr(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ArrayLiteral(Expr):
+    items: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """Tensor reference; path may contain '/' (groups, cross refs)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-' | 'NOT'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * / % = != < <= > >= AND OR CONTAINS IN
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """One component of a numpy-style subscript."""
+
+    start: Optional[Expr] = None
+    stop: Optional[Expr] = None
+    step: Optional[Expr] = None
+    is_slice: bool = True  # False => single index (start holds it)
+
+
+@dataclass(frozen=True)
+class Subscript(Expr):
+    base: Expr
+    parts: Tuple[SliceSpec, ...]
+
+
+@dataclass
+class Projection:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        return unparse_expr(self.expr)
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SampleBy:
+    weight: Expr
+    replace: bool = True
+    limit: Optional[int] = None
+
+
+@dataclass
+class Query:
+    """A full SELECT statement."""
+
+    projections: List[Projection] = field(default_factory=list)
+    select_star: bool = False
+    source: Optional[str] = None  # FROM <ident>; None = the bound dataset
+    version: Optional[str] = None  # VERSION "commit" time-travel clause
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    order_by: List[OrderItem] = field(default_factory=list)
+    arrange_by: List[Expr] = field(default_factory=list)
+    sample_by: Optional[SampleBy] = None
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+# ---------------------------------------------------------------------------
+# canonical unparser
+# ---------------------------------------------------------------------------
+
+
+def unparse_expr(e: Expr) -> str:
+    if isinstance(e, Literal):
+        if isinstance(e.value, str):
+            escaped = e.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if e.value is None:
+            return "NULL"
+        if isinstance(e.value, bool):
+            return "TRUE" if e.value else "FALSE"
+        return repr(e.value)
+    if isinstance(e, ArrayLiteral):
+        return "[" + ", ".join(unparse_expr(x) for x in e.items) + "]"
+    if isinstance(e, Column):
+        if all(p.isidentifier() for p in e.name.split("/")):
+            if "/" not in e.name:
+                return e.name
+        return f'"{e.name}"'
+    if isinstance(e, FuncCall):
+        return f"{e.name}(" + ", ".join(unparse_expr(a) for a in e.args) + ")"
+    if isinstance(e, Unary):
+        if e.op == "NOT":
+            return f"NOT ({unparse_expr(e.operand)})"
+        return f"-({unparse_expr(e.operand)})"
+    if isinstance(e, Binary):
+        return f"({unparse_expr(e.left)} {e.op} {unparse_expr(e.right)})"
+    if isinstance(e, Subscript):
+        parts = []
+        for p in e.parts:
+            if not p.is_slice:
+                parts.append(unparse_expr(p.start))
+            else:
+                bits = [
+                    unparse_expr(p.start) if p.start is not None else "",
+                    unparse_expr(p.stop) if p.stop is not None else "",
+                ]
+                if p.step is not None:
+                    bits.append(unparse_expr(p.step))
+                parts.append(":".join(bits))
+        return f"{unparse_expr(e.base)}[{', '.join(parts)}]"
+    raise TypeError(f"cannot unparse {e!r}")
+
+
+def unparse(q: Query) -> str:
+    parts = ["SELECT"]
+    if q.select_star and not q.projections:
+        parts.append("*")
+    else:
+        cols = []
+        for p in (["*"] if q.select_star else []) + q.projections:
+            if p == "*":
+                cols.append("*")
+            elif p.alias:
+                cols.append(f"{unparse_expr(p.expr)} AS {p.alias}")
+            else:
+                cols.append(unparse_expr(p.expr))
+        parts.append(", ".join(cols))
+    if q.source:
+        parts.append(f"FROM {q.source}")
+    if q.version:
+        parts.append(f'VERSION "{q.version}"')
+    if q.where is not None:
+        parts.append(f"WHERE {unparse_expr(q.where)}")
+    if q.group_by:
+        parts.append("GROUP BY " + ", ".join(unparse_expr(e) for e in q.group_by))
+    if q.order_by:
+        items = [
+            unparse_expr(o.expr) + ("" if o.ascending else " DESC")
+            for o in q.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(items))
+    if q.arrange_by:
+        parts.append(
+            "ARRANGE BY " + ", ".join(unparse_expr(e) for e in q.arrange_by)
+        )
+    if q.sample_by is not None:
+        s = f"SAMPLE BY {unparse_expr(q.sample_by.weight)}"
+        if not q.sample_by.replace:
+            s += " REPLACE FALSE"
+        if q.sample_by.limit is not None:
+            s += f" LIMIT {q.sample_by.limit}"
+        parts.append(s)
+    if q.limit is not None:
+        parts.append(f"LIMIT {q.limit}")
+    if q.offset:
+        parts.append(f"OFFSET {q.offset}")
+    return " ".join(parts)

@@ -1,0 +1,405 @@
+"""Executor of TQL plans: evaluates the tensor-op graph over dataset rows.
+
+Evaluation is row-at-a-time with per-row memoisation over the deduplicated
+graph (so shared subexpressions — the planner's CSE — are computed once),
+with predicate pushdown: when optimisation is on, the WHERE clause runs
+first touching only its own columns, and projections/order keys are only
+computed for surviving rows.
+
+Results come back as datasets (§4.4: TQL "constructs views of datasets,
+which can be visualized or directly streamed"):
+
+- ``SELECT *`` / bare-column selections produce a zero-copy *view* of the
+  source (an index over it, with lineage recorded in ``query_string``);
+- computed projections and GROUP BY produce a materialised in-memory
+  dataset whose lineage records the query and source commit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TQLTypeError
+from repro.tql.planner import (
+    ArrayNode,
+    BinaryNode,
+    ColumnNode,
+    ConstNode,
+    FuncNode,
+    Node,
+    Plan,
+    RandomNode,
+    ShapeNode,
+    SubscriptNode,
+    UnaryNode,
+)
+
+
+class Executor:
+    def __init__(self, ds, plan: Plan, seed: int = 0):
+        self.ds = ds
+        self.plan = plan
+        self.rng = np.random.default_rng(seed)
+        self._decoders: Dict[str, tuple] = {}
+        self.rows_scanned = 0
+        self.cells_fetched = 0
+
+    # ------------------------------------------------------------------ #
+    # value access
+    # ------------------------------------------------------------------ #
+
+    def _read_cell(self, tensor: str, row: int):
+        engine = self.ds._engine(tensor)
+        self.cells_fetched += 1
+        value = engine.read_sample(row)
+        if engine.meta.is_text and isinstance(value, np.ndarray):
+            return bytes(value.tobytes()).decode("utf-8")
+        if engine.meta.is_json and isinstance(value, np.ndarray):
+            from repro.util.json_util import json_loads
+
+            return json_loads(bytes(value.tobytes()))
+        return value
+
+    # ------------------------------------------------------------------ #
+    # graph evaluation
+    # ------------------------------------------------------------------ #
+
+    def eval_node(self, node: Node, row: int, memo: Dict[int, object]):
+        if node.id in memo:
+            return memo[node.id]
+        value = self._eval(node, row, memo)
+        memo[node.id] = value
+        return value
+
+    def _eval(self, node: Node, row: int, memo):
+        if isinstance(node, ConstNode):
+            return node.value
+        if isinstance(node, ColumnNode):
+            return self._read_cell(node.tensor, row)
+        if isinstance(node, ShapeNode):
+            return self._read_cell(node.shape_tensor, row)
+        if isinstance(node, ArrayNode):
+            return np.asarray(
+                [self.eval_node(i, row, memo) for i in node.inputs]
+            )
+        if isinstance(node, RandomNode):
+            return float(self.rng.random())
+        if isinstance(node, FuncNode):
+            args = [self.eval_node(a, row, memo) for a in node.inputs]
+            return node.fn(*args)
+        if isinstance(node, UnaryNode):
+            val = self.eval_node(node.inputs[0], row, memo)
+            if node.op == "NOT":
+                return not _truthy(val)
+            return -val
+        if isinstance(node, BinaryNode):
+            return self._eval_binary(node, row, memo)
+        if isinstance(node, SubscriptNode):
+            base = self.eval_node(node.inputs[0], row, memo)
+            parts = []
+            for spec in node.specs:
+                if spec[0] == "i":
+                    parts.append(spec[1])
+                else:
+                    parts.append(slice(spec[1], spec[2], spec[3]))
+            if isinstance(base, str):
+                return base[parts[0] if len(parts) == 1 else tuple(parts)]
+            return np.asarray(base)[tuple(parts)]
+        raise TQLTypeError(f"cannot evaluate node {node.key!r}")
+
+    def _eval_binary(self, node: BinaryNode, row: int, memo):
+        op = node.op
+        if op == "AND":
+            left = self.eval_node(node.inputs[0], row, memo)
+            if not _truthy(left):
+                return False  # short-circuit skips fetching right columns
+            return _truthy(self.eval_node(node.inputs[1], row, memo))
+        if op == "OR":
+            left = self.eval_node(node.inputs[0], row, memo)
+            if _truthy(left):
+                return True
+            return _truthy(self.eval_node(node.inputs[1], row, memo))
+        left = self.eval_node(node.inputs[0], row, memo)
+        right = self.eval_node(node.inputs[1], row, memo)
+        if op == "CONTAINS":
+            if isinstance(left, str):
+                return str(right) in left
+            return bool(np.isin(right, np.asarray(left)).any())
+        if op == "IN":
+            return bool(np.isin(left, np.asarray(right)).any())
+        if op in ("+", "-", "*", "/", "%"):
+            return _arith(op, left, right)
+        result = _compare(op, left, right)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # stages
+    # ------------------------------------------------------------------ #
+
+    def source_rows(self) -> List[int]:
+        engine_lengths = [
+            self.ds._engine(name).num_samples
+            for name in self.ds._meta.visible_tensors
+        ]
+        length = min(engine_lengths) if engine_lengths else 0
+        return self.ds.index.row_indices(length)
+
+    def filter_rows(self, rows: List[int]) -> List[int]:
+        plan = self.plan
+        if plan.where_node is None:
+            return list(rows)
+        out = []
+        for row in rows:
+            memo: Dict[int, object] = {}
+            self.rows_scanned += 1
+            if _truthy(self.eval_node(plan.where_node, row, memo)):
+                out.append(row)
+        return out
+
+    def order_rows(self, rows: List[int]) -> List[int]:
+        plan = self.plan
+        if not plan.order_nodes and not plan.arrange_nodes:
+            return rows
+        keyed = rows
+        # ORDER BY: stable sorts applied from the last key to the first
+        for node, ascending in reversed(plan.order_nodes):
+            values = [
+                self.eval_node(node, row, {}) for row in keyed
+            ]
+            order = _stable_argsort(values, ascending)
+            keyed = [keyed[i] for i in order]
+        # ARRANGE BY: stable grouping of the (already ordered) result
+        for node in reversed(plan.arrange_nodes):
+            values = [self.eval_node(node, row, {}) for row in keyed]
+            order = _stable_argsort(values, True)
+            keyed = [keyed[i] for i in order]
+        return keyed
+
+    def sample_rows(self, rows: List[int]) -> List[int]:
+        plan = self.plan
+        if plan.sample_node is None or not rows:
+            return rows
+        weights = np.asarray(
+            [
+                max(0.0, float(np.mean(self.eval_node(plan.sample_node, r, {}))))
+                for r in rows
+            ],
+            dtype=np.float64,
+        )
+        total = weights.sum()
+        k = plan.sample_limit if plan.sample_limit is not None else len(rows)
+        if total <= 0:
+            probs = None
+        else:
+            probs = weights / total
+        if not plan.sample_replace:
+            k = min(k, int((weights > 0).sum()) if probs is not None else len(rows))
+        chosen = self.rng.choice(
+            len(rows), size=k, replace=plan.sample_replace, p=probs
+        )
+        return [rows[int(i)] for i in chosen]
+
+    def paginate(self, rows: List[int]) -> List[int]:
+        plan = self.plan
+        start = plan.offset
+        stop = None if plan.limit is None else start + plan.limit
+        return rows[start:stop]
+
+    # ------------------------------------------------------------------ #
+    # result construction
+    # ------------------------------------------------------------------ #
+
+    def run(self, query_string: str):
+        plan = self.plan
+        ds = self.ds
+        rows = self.source_rows()
+
+        if not plan.optimize:
+            # ablation mode: no pushdown — evaluate every projection for
+            # every source row before filtering
+            for row in rows:
+                memo: Dict[int, object] = {}
+                for _name, node in plan.projections:
+                    self.eval_node(node, row, memo)
+                self.rows_scanned += 1
+
+        rows = self.filter_rows(rows)
+        if plan.group_nodes:
+            return self._materialize_groups(rows, query_string)
+        rows = self.order_rows(rows)
+        rows = self.sample_rows(rows)
+        rows = self.paginate(rows)
+
+        if plan.select_star and not plan.projections:
+            return self._view(rows, query_string, tensor_filter=None)
+        if plan.bare_columns_only and not plan.select_star:
+            names = [node.tensor for _n, node in plan.projections]
+            return self._view(rows, query_string, tensor_filter=names)
+        return self._materialize_projections(rows, query_string)
+
+    def _view(self, rows: List[int], query_string: str,
+              tensor_filter: Optional[List[str]]):
+        from repro.core.index import Index
+
+        view = self.ds._spawn(index=Index([list(rows)]))
+        view.query_string = query_string
+        if tensor_filter is not None:
+            view._tensor_filter = list(tensor_filter)
+        return view
+
+    def _infer_and_create(self, out, name: str, value) -> None:
+        if isinstance(value, str):
+            out.create_tensor(name, htype="text",
+                              create_shape_tensor=False, create_id_tensor=False)
+        elif isinstance(value, (dict, list)):
+            out.create_tensor(name, htype="json",
+                              create_shape_tensor=False, create_id_tensor=False)
+        else:
+            arr = np.asarray(value)
+            out.create_tensor(
+                name,
+                dtype=arr.dtype.name,
+                create_shape_tensor=False,
+                create_id_tensor=False,
+            )
+
+    def _materialize_projections(self, rows: List[int], query_string: str):
+        import repro as _api
+
+        out = _api.empty(f"mem://tql-{id(self)}", overwrite=True)
+        out.query_string = query_string
+        created = False
+        for row in rows:
+            memo: Dict[int, object] = {}
+            values = {
+                name: self.eval_node(node, row, memo)
+                for name, node in self.plan.projections
+            }
+            if not created:
+                for name, value in values.items():
+                    self._infer_and_create(out, name, value)
+                created = True
+            out.append(
+                {k: (np.asarray(v) if not isinstance(v, (str, dict, list))
+                     else v)
+                 for k, v in values.items()}
+            )
+        if not created:
+            for name, _node in self.plan.projections:
+                out.create_tensor(name, dtype="float64",
+                                  create_shape_tensor=False,
+                                  create_id_tensor=False)
+        out._meta.info["source_query"] = query_string
+        out._meta.info["source_commit"] = self.ds.commit_id
+        out.flush()
+        return out
+
+    def _materialize_groups(self, rows: List[int], query_string: str):
+        import repro as _api
+
+        plan = self.plan
+        groups: Dict[tuple, List[int]] = {}
+        for row in rows:
+            memo: Dict[int, object] = {}
+            key = tuple(
+                _group_key(self.eval_node(node, row, memo))
+                for node in plan.group_nodes
+            )
+            groups.setdefault(key, []).append(row)
+
+        from repro.tql.functions import get_agg_function
+
+        out = _api.empty(f"mem://tql-{id(self)}", overwrite=True)
+        out.query_string = query_string
+        created = False
+        for key in sorted(groups, key=lambda k: tuple(str(x) for x in k)):
+            members = groups[key]
+            values = {}
+            for name, agg_name, node in plan.agg_projections:
+                fn = get_agg_function(agg_name)
+                if node is None:  # COUNT()
+                    values[name] = fn(members)
+                else:
+                    per_row = [self.eval_node(node, r, {}) for r in members]
+                    values[name] = fn(per_row)
+            if not created:
+                for name, value in values.items():
+                    self._infer_and_create(out, name, value)
+                created = True
+            out.append(
+                {k: (np.asarray(v) if not isinstance(v, (str, dict, list))
+                     else v)
+                 for k, v in values.items()}
+            )
+        out._meta.info["source_query"] = query_string
+        out._meta.info["source_commit"] = self.ds.commit_id
+        out.flush()
+        return out
+
+
+# ---------------------------------------------------------------------------
+# small helpers
+# ---------------------------------------------------------------------------
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return bool(np.all(value)) if value.size else False
+    return bool(value)
+
+
+def _arith(op: str, a, b):
+    import operator as _op
+
+    table = {"+": _op.add, "-": _op.sub, "*": _op.mul, "/": _op.truediv,
+             "%": _op.mod}
+    return table[op](a, b)
+
+
+def _compare(op: str, a, b) -> bool:
+    import operator as _op
+
+    table = {"==": _op.eq, "!=": _op.ne, "<": _op.lt, "<=": _op.le,
+             ">": _op.gt, ">=": _op.ge}
+    result = table[op](a, b)
+    if isinstance(result, np.ndarray):
+        return bool(np.all(result)) if result.size else False
+    return bool(result)
+
+
+def _sort_token(value):
+    if isinstance(value, np.ndarray):
+        value = float(np.mean(value)) if value.size else 0.0
+    if isinstance(value, (bool, np.bool_)):
+        return (0, float(value))
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return (0, float(value))
+    return (1, str(value))
+
+
+def _stable_argsort(values: List, ascending: bool) -> List[int]:
+    tokens = [_sort_token(v) for v in values]
+    order = sorted(range(len(tokens)), key=lambda i: tokens[i])
+    if not ascending:
+        # reverse while keeping stability within equal keys
+        out: List[int] = []
+        i = 0
+        rev: List[List[int]] = []
+        while i < len(order):
+            j = i
+            while j < len(order) and tokens[order[j]] == tokens[order[i]]:
+                j += 1
+            rev.append(order[i:j])
+            i = j
+        for block in reversed(rev):
+            out.extend(block)
+        return out
+    return order
+
+
+def _group_key(value):
+    if isinstance(value, np.ndarray):
+        return tuple(value.ravel().tolist())
+    return value

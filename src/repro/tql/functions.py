@@ -1,0 +1,297 @@
+"""UDF registry of the Tensor Query Language.
+
+"TQL solves this by adding Python/NumPy-style indexing, slicing of arrays,
+and providing a large set of convenience functions to work with arrays,
+many of which are common operations supported in NumPy" (§4.4).
+
+Functions receive per-row values (numpy arrays / scalars / strings) and
+return per-row results.  Aggregates (used under GROUP BY) are registered
+separately and receive the list of group values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.exceptions import TQLNameError, TQLTypeError
+
+ROW_FUNCTIONS: Dict[str, Callable] = {}
+AGG_FUNCTIONS: Dict[str, Callable] = {}
+
+
+def row_function(name: str):
+    def deco(fn: Callable) -> Callable:
+        ROW_FUNCTIONS[name] = fn
+        return fn
+
+    return deco
+
+
+def agg_function(name: str):
+    def deco(fn: Callable) -> Callable:
+        AGG_FUNCTIONS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_row_function(name: str) -> Callable:
+    try:
+        return ROW_FUNCTIONS[name]
+    except KeyError:
+        raise TQLNameError(
+            f"unknown TQL function {name}(); available: "
+            f"{sorted(ROW_FUNCTIONS)}"
+        ) from None
+
+
+def get_agg_function(name: str) -> Callable:
+    try:
+        return AGG_FUNCTIONS[name]
+    except KeyError:
+        raise TQLNameError(
+            f"{name}() is not an aggregate; GROUP BY projections must use "
+            f"one of {sorted(AGG_FUNCTIONS)}"
+        ) from None
+
+
+def is_aggregate(name: str) -> bool:
+    return name in AGG_FUNCTIONS
+
+
+def _as_array(x, name: str) -> np.ndarray:
+    if isinstance(x, np.ndarray):
+        return x
+    if isinstance(x, (list, tuple, int, float, np.generic)):
+        return np.asarray(x)
+    raise TQLTypeError(f"{name}() expects numeric input, got {type(x).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# numeric row functions (numpy-style convenience set)
+# ---------------------------------------------------------------------------
+
+
+@row_function("ABS")
+def _abs(x):
+    return np.abs(_as_array(x, "ABS"))
+
+
+@row_function("CLIP")
+def _clip(x, lo, hi):
+    return np.clip(_as_array(x, "CLIP"), lo, hi)
+
+
+@row_function("MEAN")
+def _mean(x, axis=None):
+    axis = None if axis is None else int(axis)
+    return np.mean(_as_array(x, "MEAN"), axis=axis)
+
+
+@row_function("SUM")
+def _sum(x, axis=None):
+    axis = None if axis is None else int(axis)
+    return np.sum(_as_array(x, "SUM"), axis=axis)
+
+
+@row_function("MIN")
+def _min(x, axis=None):
+    axis = None if axis is None else int(axis)
+    return np.min(_as_array(x, "MIN"), axis=axis)
+
+
+@row_function("MAX")
+def _max(x, axis=None):
+    axis = None if axis is None else int(axis)
+    return np.max(_as_array(x, "MAX"), axis=axis)
+
+
+@row_function("STD")
+def _std(x, axis=None):
+    axis = None if axis is None else int(axis)
+    return np.std(_as_array(x, "STD"), axis=axis)
+
+
+@row_function("ANY")
+def _any(x):
+    return bool(np.any(_as_array(x, "ANY")))
+
+
+@row_function("ALL")
+def _all(x):
+    return bool(np.all(_as_array(x, "ALL")))
+
+
+@row_function("L2")
+def _l2(x):
+    return float(np.linalg.norm(np.asarray(x, dtype=np.float64)))
+
+
+@row_function("DOT")
+def _dot(a, b):
+    return np.dot(
+        np.asarray(a, dtype=np.float64).ravel(),
+        np.asarray(b, dtype=np.float64).ravel(),
+    )
+
+
+@row_function("COSINE_SIMILARITY")
+def _cosine(a, b):
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    return float(a @ b / denom) if denom else 0.0
+
+
+@row_function("SOFTMAX")
+def _softmax(x):
+    x = np.asarray(x, dtype=np.float64)
+    e = np.exp(x - np.max(x))
+    return e / e.sum()
+
+
+@row_function("SHAPE")
+def _shape(x):
+    # the planner usually rewrites SHAPE(col) to the hidden shape tensor;
+    # this fallback handles computed expressions
+    return np.asarray(np.shape(x), dtype=np.int64)
+
+
+@row_function("LOGICAL_AND")
+def _land(a, b):
+    return bool(a) and bool(b)
+
+
+@row_function("LOGICAL_OR")
+def _lor(a, b):
+    return bool(a) or bool(b)
+
+
+@row_function("RANDOM")
+def _random():
+    # replaced by the executor with a seeded per-row stream; defined here
+    # for completeness so the function name resolves
+    return np.random.random()  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# computer-vision helpers (the Fig 5 query)
+# ---------------------------------------------------------------------------
+
+
+def _iou_pair(a: np.ndarray, b: np.ndarray) -> float:
+    """IoU of two [x, y, w, h] boxes."""
+    ax0, ay0, aw, ah = (float(v) for v in a[:4])
+    bx0, by0, bw, bh = (float(v) for v in b[:4])
+    ax1, ay1 = ax0 + aw, ay0 + ah
+    bx1, by1 = bx0 + bw, by0 + bh
+    ix = max(0.0, min(ax1, bx1) - max(ax0, bx0))
+    iy = max(0.0, min(ay1, by1) - max(ay0, by0))
+    inter = ix * iy
+    union = aw * ah + bw * bh - inter
+    return inter / union if union > 0 else 0.0
+
+
+@row_function("IOU")
+def _iou(a, b):
+    """Mean IoU between two boxes or two equal-length box arrays.
+
+    The paper's Fig 5 uses it as a per-sample prediction-error measure
+    between a sample's boxes and reference boxes.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if a.size == 0 or b.size == 0:
+        return 0.0
+    n = min(len(a), len(b))
+    return float(np.mean([_iou_pair(a[i], b[i]) for i in range(n)]))
+
+
+@row_function("NORMALIZE")
+def _normalize(boxes, ref):
+    """Normalize [x, y, w, h] boxes into a reference window.
+
+    ``NORMALIZE(boxes, [rx, ry, rw, rh])`` maps coordinates relative to the
+    window's origin and scales by its extent, as used by Fig 5 to express
+    boxes in the cropped image's frame.
+    """
+    boxes = np.asarray(boxes, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64).ravel()
+    if ref.shape[0] != 4:
+        raise TQLTypeError("NORMALIZE reference must have 4 values [x,y,w,h]")
+    rx, ry, rw, rh = ref
+    out = np.atleast_2d(boxes).astype(np.float64).copy()
+    out[:, 0] = (out[:, 0] - rx) / rw
+    out[:, 1] = (out[:, 1] - ry) / rh
+    out[:, 2] = out[:, 2] / rw
+    out[:, 3] = out[:, 3] / rh
+    return out if boxes.ndim > 1 else out[0]
+
+
+# ---------------------------------------------------------------------------
+# text functions
+# ---------------------------------------------------------------------------
+
+
+@row_function("LOWER")
+def _lower(s):
+    if not isinstance(s, str):
+        raise TQLTypeError("LOWER() expects a text value")
+    return s.lower()
+
+
+@row_function("UPPER")
+def _upper(s):
+    if not isinstance(s, str):
+        raise TQLTypeError("UPPER() expects a text value")
+    return s.upper()
+
+
+@row_function("LENGTH")
+def _length(x):
+    if isinstance(x, str):
+        return len(x)
+    return int(np.asarray(x).shape[0]) if np.asarray(x).ndim else 0
+
+
+# ---------------------------------------------------------------------------
+# aggregates (GROUP BY)
+# ---------------------------------------------------------------------------
+
+
+@agg_function("COUNT")
+def _agg_count(values: List):
+    return len(values)
+
+
+@agg_function("MEAN")
+def _agg_mean(values: List):
+    return float(np.mean([np.mean(v) for v in values])) if values else 0.0
+
+
+@agg_function("SUM")
+def _agg_sum(values: List):
+    return float(np.sum([np.sum(v) for v in values])) if values else 0.0
+
+
+@agg_function("MIN")
+def _agg_min(values: List):
+    return float(np.min([np.min(v) for v in values])) if values else 0.0
+
+
+@agg_function("MAX")
+def _agg_max(values: List):
+    return float(np.max([np.max(v) for v in values])) if values else 0.0
+
+
+@agg_function("STD")
+def _agg_std(values: List):
+    flat = [float(np.mean(v)) for v in values]
+    return float(np.std(flat)) if flat else 0.0
+
+
+@agg_function("FIRST")
+def _agg_first(values: List):
+    return values[0] if values else None

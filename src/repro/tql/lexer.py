@@ -1,0 +1,151 @@
+"""Tokenizer for the Tensor Query Language (§4.4).
+
+TQL is SQL extended with numpy-style indexing/slicing of multi-dimensional
+columns, so the lexer knows ``[``, ``:``, ``,`` inside subscripts as well
+as the usual SQL atoms.  Keywords are case-insensitive; identifiers keep
+their case (tensor names are case-sensitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import TQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "ORDER", "GROUP", "ARRANGE", "SAMPLE", "BY",
+    "LIMIT", "OFFSET", "AS", "ASC", "DESC", "AND", "OR", "NOT", "IN",
+    "CONTAINS", "VERSION", "REPLACE", "TRUE", "FALSE", "NULL", "JOIN",
+    "UNGROUP", "EXPAND",
+}
+
+SYMBOLS = [
+    "<=", ">=", "!=", "<>", "==", "=", "<", ">", "(", ")", "[", "]",
+    ",", ":", "+", "-", "*", "/", "%", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    value: str
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # SQL line comment
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise TQLSyntaxError("unterminated string literal", i, text)
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("SYMBOL", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise TQLSyntaxError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token], text: str = ""):
+        self.tokens = tokens
+        self.text = text
+        self.i = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        j = min(self.i + ahead, len(self.tokens) - 1)
+        return self.tokens[j]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            self.i += 1
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            want = value or kind
+            raise TQLSyntaxError(
+                f"expected {want}, got {got.value or got.kind!r}",
+                got.pos,
+                self.text,
+            )
+        return tok
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "KEYWORD" and tok.value in words

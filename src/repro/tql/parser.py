@@ -1,0 +1,286 @@
+"""Recursive-descent parser for the Tensor Query Language.
+
+The grammar is SQL's SELECT core extended with (paper §4.4):
+
+- numpy-style indexing/slicing: ``images[100:500, 100:500, 0:2]``
+- array literals: ``[100, 100, 400, 400]``
+- user-defined functions over tensors: ``IOU(boxes, "training/boxes")``
+- ``ARRANGE BY`` (stable grouping of the ordered result)
+- ``SAMPLE BY`` weighted sampling
+- ``VERSION "<commit>"`` time travel inside the query
+
+JOIN is recognised and rejected with a clear "not supported" error, per
+the paper's stated limitation (§7.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import TQLSyntaxError, TQLUnsupportedError
+from repro.tql.ast_nodes import (
+    ArrayLiteral,
+    Binary,
+    Column,
+    Expr,
+    FuncCall,
+    Literal,
+    OrderItem,
+    Projection,
+    Query,
+    SampleBy,
+    SliceSpec,
+    Subscript,
+    Unary,
+)
+from repro.tql.lexer import TokenStream, tokenize
+
+_CMP_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.ts = TokenStream(tokenize(text), text)
+
+    # ------------------------------------------------------------------ #
+
+    def parse(self) -> Query:
+        q = Query()
+        self.ts.expect("KEYWORD", "SELECT")
+        self._parse_select_list(q)
+        if self.ts.accept("KEYWORD", "FROM"):
+            tok = self.ts.peek()
+            if tok.kind in ("IDENT", "STRING"):
+                self.ts.next()
+                q.source = tok.value
+            else:
+                raise TQLSyntaxError("expected source after FROM", tok.pos, self.text)
+        if self.ts.at_keyword("JOIN"):
+            raise TQLUnsupportedError(
+                "JOIN is not supported by the TQL engine (paper §7.3)"
+            )
+        if self.ts.accept("KEYWORD", "VERSION"):
+            q.version = self.ts.expect("STRING").value
+        if self.ts.accept("KEYWORD", "WHERE"):
+            q.where = self._expr()
+        if self.ts.at_keyword("GROUP"):
+            self.ts.next()
+            self.ts.expect("KEYWORD", "BY")
+            q.group_by.append(self._expr())
+            while self.ts.accept("SYMBOL", ","):
+                q.group_by.append(self._expr())
+        if self.ts.at_keyword("ORDER"):
+            self.ts.next()
+            self.ts.expect("KEYWORD", "BY")
+            q.order_by.append(self._order_item())
+            while self.ts.accept("SYMBOL", ","):
+                q.order_by.append(self._order_item())
+        if self.ts.at_keyword("ARRANGE"):
+            self.ts.next()
+            self.ts.expect("KEYWORD", "BY")
+            q.arrange_by.append(self._expr())
+            while self.ts.accept("SYMBOL", ","):
+                q.arrange_by.append(self._expr())
+        if self.ts.at_keyword("SAMPLE"):
+            self.ts.next()
+            self.ts.expect("KEYWORD", "BY")
+            weight = self._expr()
+            sample = SampleBy(weight=weight)
+            if self.ts.accept("KEYWORD", "REPLACE"):
+                word = self.ts.expect("KEYWORD")
+                sample.replace = word.value == "TRUE"
+            if self.ts.at_keyword("LIMIT"):
+                self.ts.next()
+                sample.limit = int(self.ts.expect("NUMBER").value)
+            q.sample_by = sample
+        if self.ts.at_keyword("LIMIT"):
+            self.ts.next()
+            q.limit = int(self.ts.expect("NUMBER").value)
+        if self.ts.at_keyword("OFFSET"):
+            self.ts.next()
+            q.offset = int(self.ts.expect("NUMBER").value)
+        tok = self.ts.peek()
+        if tok.kind != "EOF":
+            raise TQLSyntaxError(
+                f"unexpected trailing input {tok.value!r}", tok.pos, self.text
+            )
+        return q
+
+    def _parse_select_list(self, q: Query) -> None:
+        while True:
+            if self.ts.accept("SYMBOL", "*"):
+                q.select_star = True
+            else:
+                expr = self._expr()
+                alias = None
+                if self.ts.accept("KEYWORD", "AS"):
+                    alias = self.ts.expect("IDENT").value
+                elif self.ts.peek().kind == "IDENT" and not self.ts.at_keyword():
+                    # bare alias: `expr name`
+                    alias = self.ts.next().value
+                q.projections.append(Projection(expr, alias))
+            if not self.ts.accept("SYMBOL", ","):
+                break
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        ascending = True
+        if self.ts.accept("KEYWORD", "ASC"):
+            ascending = True
+        elif self.ts.accept("KEYWORD", "DESC"):
+            ascending = False
+        return OrderItem(expr, ascending)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+
+    def _expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.ts.accept("KEYWORD", "OR"):
+            left = Binary("OR", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self.ts.accept("KEYWORD", "AND"):
+            left = Binary("AND", left, self._not())
+        return left
+
+    def _not(self) -> Expr:
+        if self.ts.accept("KEYWORD", "NOT"):
+            return Unary("NOT", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        tok = self.ts.peek()
+        if tok.kind == "SYMBOL" and tok.value in _CMP_OPS:
+            self.ts.next()
+            op = "==" if tok.value in ("=", "==") else tok.value
+            op = "!=" if op == "<>" else op
+            return Binary(op, left, self._additive())
+        if self.ts.accept("KEYWORD", "CONTAINS"):
+            return Binary("CONTAINS", left, self._additive())
+        if self.ts.accept("KEYWORD", "IN"):
+            return Binary("IN", left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            tok = self.ts.peek()
+            if tok.kind == "SYMBOL" and tok.value in ("+", "-"):
+                self.ts.next()
+                left = Binary(tok.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            tok = self.ts.peek()
+            if tok.kind == "SYMBOL" and tok.value in ("*", "/", "%"):
+                self.ts.next()
+                left = Binary(tok.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.ts.accept("SYMBOL", "-"):
+            return Unary("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while self.ts.peek().kind == "SYMBOL" and self.ts.peek().value == "[":
+            self.ts.next()
+            parts = [self._slice_spec()]
+            while self.ts.accept("SYMBOL", ","):
+                parts.append(self._slice_spec())
+            self.ts.expect("SYMBOL", "]")
+            expr = Subscript(expr, tuple(parts))
+        return expr
+
+    def _slice_spec(self) -> SliceSpec:
+        start = stop = step = None
+        is_slice = False
+        tok = self.ts.peek()
+        if not (tok.kind == "SYMBOL" and tok.value in (":", "]", ",")):
+            start = self._expr()
+        if self.ts.accept("SYMBOL", ":"):
+            is_slice = True
+            tok = self.ts.peek()
+            if not (tok.kind == "SYMBOL" and tok.value in (":", "]", ",")):
+                stop = self._expr()
+            if self.ts.accept("SYMBOL", ":"):
+                tok = self.ts.peek()
+                if not (tok.kind == "SYMBOL" and tok.value in ("]", ",")):
+                    step = self._expr()
+        if not is_slice and start is None:
+            raise TQLSyntaxError(
+                "empty subscript component", self.ts.peek().pos, self.text
+            )
+        return SliceSpec(start=start, stop=stop, step=step, is_slice=is_slice)
+
+    def _primary(self) -> Expr:
+        ts = self.ts
+        tok = ts.peek()
+        if tok.kind == "NUMBER":
+            ts.next()
+            text = tok.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return Literal(value)
+        if tok.kind == "STRING":
+            ts.next()
+            return Literal(tok.value)
+        if tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE"):
+            ts.next()
+            return Literal(tok.value == "TRUE")
+        if tok.kind == "KEYWORD" and tok.value == "NULL":
+            ts.next()
+            return Literal(None)
+        if tok.kind == "SYMBOL" and tok.value == "(":
+            ts.next()
+            inner = self._expr()
+            ts.expect("SYMBOL", ")")
+            return inner
+        if tok.kind == "SYMBOL" and tok.value == "[":
+            ts.next()
+            items = []
+            if not (ts.peek().kind == "SYMBOL" and ts.peek().value == "]"):
+                items.append(self._expr())
+                while ts.accept("SYMBOL", ","):
+                    items.append(self._expr())
+            ts.expect("SYMBOL", "]")
+            return ArrayLiteral(tuple(items))
+        if tok.kind == "IDENT":
+            ts.next()
+            name = tok.value
+            if ts.peek().kind == "SYMBOL" and ts.peek().value == "(":
+                ts.next()
+                args: List[Expr] = []
+                if not (ts.peek().kind == "SYMBOL" and ts.peek().value == ")"):
+                    args.append(self._expr())
+                    while ts.accept("SYMBOL", ","):
+                        args.append(self._expr())
+                ts.expect("SYMBOL", ")")
+                return FuncCall(name.upper(), tuple(args))
+            # dotted group path -> '/' tensor path
+            while ts.peek().kind == "SYMBOL" and ts.peek().value == ".":
+                ts.next()
+                part = ts.expect("IDENT").value
+                name = f"{name}/{part}"
+            return Column(name)
+        raise TQLSyntaxError(
+            f"unexpected token {tok.value or tok.kind!r}", tok.pos, self.text
+        )
+
+
+def parse(text: str) -> Query:
+    """Parse a TQL query string into its AST."""
+    return Parser(text).parse()

@@ -1,0 +1,429 @@
+"""Query planner: AST -> computational graph of tensor operations (§4.4).
+
+"The query plan generates a computational graph of tensor operations.
+Then the scheduler executes the query graph."  The planner:
+
+- resolves names: bare identifiers and quoted strings become column reads
+  (quoted strings that match a tensor path act as cross-tensor references,
+  as in ``IOU(boxes, "training/boxes")`` from Fig 5);
+- performs common-subexpression elimination by structural hashing, so the
+  IOU appearing in both WHERE and ORDER BY is computed once per row;
+- rewrites ``SHAPE(col)`` to a read of the hidden shape tensor — a
+  metadata lookup instead of a payload decode ("hidden tensors can be used
+  to preserve shape information for fast queries", §3.4);
+- folds constant subtrees;
+- maps class-label string literals to label indices using the tensor's
+  ``class_names``;
+- computes the column set each stage needs (projection pushdown), letting
+  the executor fetch only referenced tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TQLNameError, TQLTypeError
+from repro.tql import ast_nodes as A
+from repro.tql.functions import get_row_function, is_aggregate
+
+# ---------------------------------------------------------------------------
+# graph nodes
+# ---------------------------------------------------------------------------
+
+
+class Node:
+    """One vertex of the tensor-operation graph."""
+
+    __slots__ = ("id", "key", "inputs")
+
+    def __init__(self, key: str, inputs: Tuple["Node", ...] = ()):
+        self.id = -1  # assigned by Graph
+        self.key = key
+        self.inputs = inputs
+
+
+class ColumnNode(Node):
+    __slots__ = ("tensor",)
+
+    def __init__(self, tensor: str):
+        super().__init__(f"col:{tensor}")
+        self.tensor = tensor
+
+
+class ShapeNode(Node):
+    """Fast-path shape read from the hidden shape tensor."""
+
+    __slots__ = ("tensor", "shape_tensor")
+
+    def __init__(self, tensor: str, shape_tensor: str):
+        super().__init__(f"shape:{tensor}")
+        self.tensor = tensor
+        self.shape_tensor = shape_tensor
+
+
+class ConstNode(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__(f"const:{value!r}")
+        self.value = value
+
+
+class ArrayNode(Node):
+    def __init__(self, items: Tuple[Node, ...]):
+        super().__init__("arr:[" + ",".join(i.key for i in items) + "]", items)
+
+
+class FuncNode(Node):
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, args: Tuple[Node, ...]):
+        super().__init__(f"{name}(" + ",".join(a.key for a in args) + ")", args)
+        self.name = name
+        self.fn = get_row_function(name)
+
+
+class RandomNode(Node):
+    _counter = 0
+
+    def __init__(self):
+        RandomNode._counter += 1
+        super().__init__(f"random:{RandomNode._counter}")
+
+
+class BinaryNode(Node):
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, left: Node, right: Node):
+        super().__init__(f"({left.key}{op}{right.key})", (left, right))
+        self.op = op
+
+
+class UnaryNode(Node):
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, operand: Node):
+        super().__init__(f"{op}({operand.key})", (operand,))
+        self.op = op
+
+
+class SubscriptNode(Node):
+    __slots__ = ("specs",)
+
+    def __init__(self, base: Node, specs: Tuple):
+        key = f"{base.key}[" + ",".join(map(str, specs)) + "]"
+        super().__init__(key, (base,))
+        self.specs = specs  # tuple of ('i', int) | ('s', start, stop, step)
+
+
+class Graph:
+    """Deduplicated DAG of nodes (CSE by structural key)."""
+
+    def __init__(self):
+        self._by_key: Dict[str, Node] = {}
+        self.nodes: List[Node] = []
+
+    def add(self, node: Node) -> Node:
+        existing = self._by_key.get(node.key)
+        if existing is not None:
+            return existing
+        node.id = len(self.nodes)
+        self.nodes.append(node)
+        self._by_key[node.key] = node
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def columns(self) -> List[str]:
+        out = []
+        for node in self.nodes:
+            if isinstance(node, ColumnNode):
+                out.append(node.tensor)
+            elif isinstance(node, ShapeNode):
+                out.append(node.shape_tensor)
+        return sorted(set(out))
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Plan:
+    """Executable query plan."""
+
+    graph: Graph = field(default_factory=Graph)
+    where_node: Optional[Node] = None
+    order_nodes: List[Tuple[Node, bool]] = field(default_factory=list)
+    arrange_nodes: List[Node] = field(default_factory=list)
+    sample_node: Optional[Node] = None
+    sample_replace: bool = True
+    sample_limit: Optional[int] = None
+    group_nodes: List[Node] = field(default_factory=list)
+    #: (output name, node) for computed projections; None for SELECT *
+    projections: List[Tuple[str, Node]] = field(default_factory=list)
+    select_star: bool = False
+    #: aggregate projections under GROUP BY: (name, agg fn name, node|None)
+    agg_projections: List[Tuple[str, str, Optional[Node]]] = field(
+        default_factory=list
+    )
+    bare_columns_only: bool = False
+    limit: Optional[int] = None
+    offset: int = 0
+    version: Optional[str] = None
+    optimize: bool = True
+
+    def filter_columns(self) -> List[str]:
+        """Tensors needed to evaluate just the WHERE clause."""
+        if self.where_node is None:
+            return []
+        cols = set()
+
+        def walk(node: Node):
+            if isinstance(node, ColumnNode):
+                cols.add(node.tensor)
+            elif isinstance(node, ShapeNode):
+                cols.add(node.shape_tensor)
+            for child in node.inputs:
+                walk(child)
+
+        walk(self.where_node)
+        return sorted(cols)
+
+
+class Planner:
+    def __init__(self, ds, query: A.Query, optimize: bool = True):
+        self.ds = ds
+        self.query = query
+        self.optimize = optimize
+        self.plan = Plan(optimize=optimize, version=query.version)
+        self._tensor_names = set(ds._all_tensor_names(include_hidden=True))
+
+    # -- helpers ---------------------------------------------------------
+
+    def _is_tensor(self, name: str) -> bool:
+        return name in self._tensor_names
+
+    def _column(self, name: str) -> Node:
+        qualified = self.ds._qualify(name) if hasattr(self.ds, "_qualify") else name
+        target = qualified if self._is_tensor(qualified) else name
+        if not self._is_tensor(target):
+            raise TQLNameError(
+                f"unknown column {name!r}; tensors: "
+                f"{sorted(self.ds._all_tensor_names(include_hidden=False))}"
+            )
+        return self.plan.graph.add(ColumnNode(target))
+
+    def _class_index(self, tensor: str, label: str) -> Optional[int]:
+        engine = self.ds._engine(tensor)
+        names = engine.meta.info.get("class_names")
+        if names and label in names:
+            return names.index(label)
+        return None
+
+    # -- expression compilation ------------------------------------------
+
+    def compile(self, expr: A.Expr) -> Node:
+        node = self._compile(expr)
+        return node
+
+    def _compile(self, expr: A.Expr) -> Node:
+        g = self.plan.graph
+        if isinstance(expr, A.Literal):
+            if isinstance(expr.value, str) and self._is_tensor(expr.value):
+                # quoted cross-tensor reference, e.g. "training/boxes"
+                return g.add(ColumnNode(expr.value))
+            return g.add(ConstNode(expr.value))
+        if isinstance(expr, A.Column):
+            return self._column(expr.name)
+        if isinstance(expr, A.ArrayLiteral):
+            items = tuple(self._compile(i) for i in expr.items)
+            if all(isinstance(i, ConstNode) for i in items):
+                return g.add(
+                    ConstNode(np.asarray([i.value for i in items]))
+                )
+            return g.add(ArrayNode(items))
+        if isinstance(expr, A.FuncCall):
+            if expr.name == "RANDOM":
+                return g.add(RandomNode())
+            if expr.name == "SHAPE" and len(expr.args) == 1 and isinstance(
+                expr.args[0], A.Column
+            ):
+                tensor = expr.args[0].name
+                if self._is_tensor(tensor):
+                    engine = self.ds._engine(tensor)
+                    shape_tensor = engine.meta.links.get("shape")
+                    if self.optimize and shape_tensor and self._is_tensor(shape_tensor):
+                        return g.add(ShapeNode(tensor, shape_tensor))
+            args = tuple(self._compile(a) for a in expr.args)
+            node = FuncNode(expr.name, args)
+            if all(isinstance(a, ConstNode) for a in args) and self.optimize:
+                try:  # constant folding
+                    value = node.fn(*(a.value for a in args))
+                    return g.add(ConstNode(value))
+                except Exception:  # noqa: BLE001 - fold only when safe
+                    pass
+            return g.add(node)
+        if isinstance(expr, A.Unary):
+            operand = self._compile(expr.operand)
+            if isinstance(operand, ConstNode) and self.optimize:
+                value = (
+                    (not operand.value) if expr.op == "NOT" else -operand.value
+                )
+                return g.add(ConstNode(value))
+            return g.add(UnaryNode(expr.op, operand))
+        if isinstance(expr, A.Binary):
+            # class-label string comparison sugar: labels == 'dog'
+            sugar = self._label_sugar(expr)
+            if sugar is not None:
+                return sugar
+            left = self._compile(expr.left)
+            right = self._compile(expr.right)
+            if (
+                self.optimize
+                and isinstance(left, ConstNode)
+                and isinstance(right, ConstNode)
+                and expr.op not in ("AND", "OR")
+            ):
+                try:
+                    value = _fold_binary(expr.op, left.value, right.value)
+                    return g.add(ConstNode(value))
+                except Exception:  # noqa: BLE001
+                    pass
+            return g.add(BinaryNode(expr.op, left, right))
+        if isinstance(expr, A.Subscript):
+            base = self._compile(expr.base)
+            specs = []
+            for part in expr.parts:
+                if not part.is_slice:
+                    specs.append(("i", self._const_int(part.start)))
+                else:
+                    specs.append(
+                        (
+                            "s",
+                            self._const_int(part.start),
+                            self._const_int(part.stop),
+                            self._const_int(part.step),
+                        )
+                    )
+            return g.add(SubscriptNode(base, tuple(specs)))
+        raise TQLTypeError(f"cannot compile expression {expr!r}")
+
+    def _const_int(self, expr: Optional[A.Expr]) -> Optional[int]:
+        if expr is None:
+            return None
+        node = self._compile(expr)
+        if isinstance(node, ConstNode) and isinstance(node.value, (int, np.integer)):
+            return int(node.value)
+        if isinstance(node, ConstNode) and isinstance(node.value, float) \
+                and float(node.value).is_integer():
+            return int(node.value)
+        raise TQLTypeError("subscript bounds must be integer constants")
+
+    def _label_sugar(self, expr: A.Binary) -> Optional[Node]:
+        """Rewrite class-label vs string comparisons to index comparisons."""
+        if expr.op not in ("==", "!=", "CONTAINS"):
+            return None
+        col, lit = None, None
+        if isinstance(expr.left, A.Column) and isinstance(expr.right, A.Literal) \
+                and isinstance(expr.right.value, str):
+            col, lit = expr.left, expr.right
+        elif isinstance(expr.right, A.Column) and isinstance(expr.left, A.Literal) \
+                and isinstance(expr.left.value, str):
+            col, lit = expr.right, expr.left
+        if col is None or not self._is_tensor(col.name):
+            return None
+        if self._is_tensor(lit.value):
+            return None  # cross-tensor ref, not a label literal
+        engine = self.ds._engine(col.name)
+        if engine.meta.htype != "class_label":
+            return None
+        idx = self._class_index(col.name, lit.value)
+        if idx is None:
+            raise TQLNameError(
+                f"label {lit.value!r} not in class_names of {col.name!r}"
+            )
+        g = self.plan.graph
+        return g.add(
+            BinaryNode(
+                expr.op,
+                self._column(col.name),
+                g.add(ConstNode(idx)),
+            )
+        )
+
+    # -- top-level --------------------------------------------------------
+
+    def build(self) -> Plan:
+        q = self.query
+        plan = self.plan
+        if q.where is not None:
+            plan.where_node = self.compile(q.where)
+        for item in q.order_by:
+            plan.order_nodes.append((self.compile(item.expr), item.ascending))
+        for expr in q.arrange_by:
+            plan.arrange_nodes.append(self.compile(expr))
+        if q.sample_by is not None:
+            plan.sample_node = self.compile(q.sample_by.weight)
+            plan.sample_replace = q.sample_by.replace
+            plan.sample_limit = q.sample_by.limit
+        for expr in q.group_by:
+            plan.group_nodes.append(self.compile(expr))
+
+        plan.select_star = q.select_star
+        if q.group_by:
+            self._build_aggregates()
+        else:
+            for proj in q.projections:
+                name = proj.output_name()
+                plan.projections.append((name, self.compile(proj.expr)))
+            plan.bare_columns_only = all(
+                isinstance(node, ColumnNode) for _n, node in plan.projections
+            )
+        plan.limit = q.limit
+        plan.offset = q.offset
+        return plan
+
+    def _build_aggregates(self) -> None:
+        q = self.query
+        plan = self.plan
+        group_keys = {n.key for n in plan.group_nodes}
+        for proj in q.projections:
+            name = proj.output_name()
+            expr = proj.expr
+            if isinstance(expr, A.FuncCall) and is_aggregate(expr.name):
+                if expr.name == "COUNT" and not expr.args:
+                    plan.agg_projections.append((name, "COUNT", None))
+                else:
+                    inner = self.compile(expr.args[0])
+                    plan.agg_projections.append((name, expr.name, inner))
+                continue
+            node = self.compile(expr)
+            if node.key in group_keys:
+                plan.agg_projections.append((name, "FIRST", node))
+                continue
+            raise TQLTypeError(
+                f"projection {name!r} under GROUP BY must be an aggregate "
+                "or a group key"
+            )
+
+
+def _fold_binary(op: str, a, b):
+    import operator as _op
+
+    table = {
+        "+": _op.add, "-": _op.sub, "*": _op.mul, "/": _op.truediv,
+        "%": _op.mod, "==": _op.eq, "!=": _op.ne, "<": _op.lt,
+        "<=": _op.le, ">": _op.gt, ">=": _op.ge,
+    }
+    return table[op](a, b)
+
+
+def build_plan(ds, query: A.Query, optimize: bool = True) -> Plan:
+    return Planner(ds, query, optimize=optimize).build()

@@ -1,0 +1,19 @@
+"""Parallel python transformations over datasets (§4.1.2)."""
+
+from repro.transform.compute import (
+    ComputeFunction,
+    Pipeline,
+    SampleOut,
+    compose,
+    compute,
+)
+from repro.transform.scheduler import plan_batches
+
+__all__ = [
+    "compute",
+    "compose",
+    "ComputeFunction",
+    "Pipeline",
+    "SampleOut",
+    "plan_batches",
+]

@@ -1,0 +1,49 @@
+"""Chunk-locality batching for the transform scheduler (§4.1.2).
+
+"Behind the scenes, the scheduler batches sample-wise transformations
+operating on nearby chunks and schedules them on a process pool."  Given a
+dataset, we cut the index range at chunk boundaries of its largest tensor
+so each worker's batch decodes whole chunks instead of straddling them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def plan_batches(ds, tensor_names: Sequence[str], length: int,
+                 num_workers: int) -> List[List[int]]:
+    """Index batches aligned to chunk boundaries of the dominant tensor."""
+    if length <= 0:
+        return []
+    boundaries = {0, length}
+    dominant = None
+    dominant_bytes = -1
+    for name in tensor_names:
+        engine = ds._engine(ds._qualify(name))
+        nbytes = engine.meta.max_sample_nbytes
+        if nbytes > dominant_bytes:
+            dominant_bytes = nbytes
+            dominant = engine
+    if dominant is not None:
+        for _name, start, end in dominant.chunk_layout():
+            if 0 < start < length:
+                boundaries.add(start)
+            if 0 < end < length:
+                boundaries.add(end)
+    cuts = sorted(boundaries)
+    batches = [
+        list(range(cuts[i], cuts[i + 1])) for i in range(len(cuts) - 1)
+    ]
+    # keep at least ~4 batches per worker for load balance, splitting the
+    # biggest batches when chunk boundaries are too coarse
+    target = max(1, (num_workers or 1) * 4)
+    while len(batches) < target:
+        batches.sort(key=len, reverse=True)
+        big = batches[0]
+        if len(big) < 2:
+            break
+        mid = len(big) // 2
+        batches = [big[:mid], big[mid:]] + batches[1:]
+    batches.sort(key=lambda b: b[0])
+    return [b for b in batches if b]

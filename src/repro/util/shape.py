@@ -1,0 +1,146 @@
+"""Shape bookkeeping helpers for ragged (dynamically shaped) tensors."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DynamicShapeError
+
+
+def ceildiv(a: int, b: int) -> int:
+    """Ceiling integer division (used throughout tiling and chunk math)."""
+    return -(-a // b)
+
+
+def nbytes_of(shape: Sequence[int], dtype) -> int:
+    """Uncompressed byte size of an array of *shape* and *dtype*."""
+    n = int(np.dtype(dtype).itemsize)
+    for dim in shape:
+        n *= int(dim)
+    return n
+
+
+class ShapeInterval:
+    """Running [lower, upper] bound over per-sample shapes of one tensor.
+
+    Deep Lake tensors are ragged: samples may differ per dimension.  The
+    interval is what ``tensor.shape`` reports (``None`` for dynamic dims)
+    and what the dataloader's memory-budget estimator uses for worst-case
+    sample size.
+    """
+
+    __slots__ = ("lower", "upper", "_initialized")
+
+    def __init__(self, lower: Sequence[int] = (), upper: Sequence[int] | None = None,
+                 initialized: bool | None = None):
+        self.lower: Tuple[int, ...] = tuple(int(x) for x in lower)
+        self.upper: Tuple[int, ...] = tuple(
+            int(x) for x in (upper if upper is not None else lower)
+        )
+        if len(self.lower) != len(self.upper):
+            raise DynamicShapeError("shape interval bounds must share a rank")
+        # rank-0 (scalar) samples also have () bounds, so "has any sample
+        # been observed" needs its own flag
+        if initialized is None:
+            initialized = bool(self.lower or self.upper)
+        self._initialized = initialized
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._initialized
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every sample seen so far had exactly the same shape."""
+        return self.lower == self.upper
+
+    def update(self, shape: Sequence[int]) -> None:
+        """Widen the interval to include *shape* (rank must match once set)."""
+        shape = tuple(int(x) for x in shape)
+        if self.is_empty:
+            self.lower = shape
+            self.upper = shape
+            self._initialized = True
+            return
+        if len(shape) != len(self.lower):
+            raise DynamicShapeError(
+                f"sample of rank {len(shape)} appended to tensor of rank "
+                f"{len(self.lower)}"
+            )
+        self.lower = tuple(min(a, b) for a, b in zip(self.lower, shape))
+        self.upper = tuple(max(a, b) for a, b in zip(self.upper, shape))
+
+    def astuple(self) -> Tuple:
+        """Report shape with ``None`` in dynamic dimensions (user facing)."""
+        return tuple(
+            lo if lo == hi else None for lo, hi in zip(self.lower, self.upper)
+        )
+
+    def max_nbytes(self, dtype) -> int:
+        """Worst-case uncompressed sample size, for prefetch budgeting."""
+        if self.is_empty:
+            return 0
+        return nbytes_of(self.upper, dtype)
+
+    def to_json(self) -> dict:
+        return {
+            "lower": list(self.lower),
+            "upper": list(self.upper),
+            "initialized": self._initialized,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ShapeInterval":
+        return cls(
+            obj.get("lower", ()),
+            obj.get("upper", ()),
+            initialized=obj.get("initialized"),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShapeInterval)
+            and self.lower == other.lower
+            and self.upper == other.upper
+            and self.is_empty == other.is_empty
+        )
+
+    def __repr__(self) -> str:
+        return f"ShapeInterval(lower={self.lower}, upper={self.upper})"
+
+
+def normalize_index(
+    index, length: int
+) -> Tuple[Iterable[int], bool]:
+    """Resolve a user index into (iterable of sample indices, is_scalar).
+
+    Accepts ints (negative ok), slices, and integer sequences/arrays.
+    """
+    if isinstance(index, (int, np.integer)):
+        i = int(index)
+        if i < 0:
+            i += length
+        if not 0 <= i < length:
+            raise IndexError(f"index {index} out of range for length {length}")
+        return [i], True
+    if isinstance(index, slice):
+        return list(range(*index.indices(length))), False
+    if isinstance(index, np.ndarray):
+        if index.dtype == bool:
+            if len(index) != length:
+                raise IndexError("boolean mask length mismatch")
+            return [int(i) for i in np.nonzero(index)[0]], False
+        index = index.tolist()
+    if isinstance(index, (list, tuple)):
+        out = []
+        for i in index:
+            j = int(i)
+            if j < 0:
+                j += length
+            if not 0 <= j < length:
+                raise IndexError(f"index {i} out of range for length {length}")
+            out.append(j)
+        return out, False
+    raise TypeError(f"unsupported index type: {type(index).__name__}")

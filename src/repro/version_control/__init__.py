@@ -1,0 +1,25 @@
+"""Version control built into the format (§4.2): commit tree, branch
+locks, commit/checkout/diff/merge operations."""
+
+from repro.version_control.tree import CommitNode, VersionTree
+from repro.version_control.locks import BranchLock
+from repro.version_control.operations import (
+    accumulate_changes,
+    checkout,
+    commit,
+    diff,
+    log,
+    merge,
+)
+
+__all__ = [
+    "CommitNode",
+    "VersionTree",
+    "BranchLock",
+    "commit",
+    "checkout",
+    "diff",
+    "log",
+    "merge",
+    "accumulate_changes",
+]

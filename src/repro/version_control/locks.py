@@ -1,0 +1,88 @@
+"""Branch-based locks for concurrent access (§7.3).
+
+Deep Lake serialises writers per *branch*: a writer acquires a lock blob
+``locks/<branch>.lock`` in the dataset's storage.  Locks carry an owner id
+and a heartbeat timestamp so crashed writers go stale and can be broken.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import LockError
+from repro.storage.provider import StorageProvider
+from repro.util import keys as K
+from repro.util.ids import new_commit_id
+from repro.util.json_util import json_dumps, json_loads
+
+DEFAULT_LOCK_TIMEOUT_S = 600.0
+
+
+class BranchLock:
+    """Advisory per-branch writer lock stored next to the data."""
+
+    def __init__(
+        self,
+        storage: StorageProvider,
+        branch: str,
+        timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+    ):
+        self.storage = storage
+        self.branch = branch
+        self.timeout_s = float(timeout_s)
+        self.owner_id = new_commit_id()[:12]
+        self.acquired = False
+
+    @property
+    def key(self) -> str:
+        return K.branch_lock_key(self.branch)
+
+    def _read(self):
+        try:
+            return json_loads(self.storage[self.key])
+        except KeyError:
+            return None
+
+    def acquire(self, steal_stale: bool = True) -> None:
+        """Take the lock or raise :class:`LockError` if actively held."""
+        current = self._read()
+        if current is not None and current["owner"] != self.owner_id:
+            age = time.time() - current["heartbeat"]
+            if age < self.timeout_s or not steal_stale:
+                raise LockError(
+                    f"branch {self.branch!r} is locked by "
+                    f"{current['owner']!r} (heartbeat {age:.0f}s ago)"
+                )
+        self.storage[self.key] = json_dumps(
+            {"owner": self.owner_id, "heartbeat": time.time()}
+        )
+        self.acquired = True
+
+    def refresh(self) -> None:
+        """Heartbeat; raises if the lock was stolen from us."""
+        current = self._read()
+        if current is None or current["owner"] != self.owner_id:
+            self.acquired = False
+            raise LockError(
+                f"lost lock on branch {self.branch!r} "
+                f"(now held by {current['owner'] if current else 'nobody'!r})"
+            )
+        self.storage[self.key] = json_dumps(
+            {"owner": self.owner_id, "heartbeat": time.time()}
+        )
+
+    def release(self) -> None:
+        current = self._read()
+        if current is not None and current["owner"] == self.owner_id:
+            try:
+                del self.storage[self.key]
+            except KeyError:
+                pass
+        self.acquired = False
+
+    def __enter__(self) -> "BranchLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,293 @@
+"""Commit / checkout / branch / diff / merge operations (§4.2).
+
+These functions operate on a :class:`~repro.core.dataset.Dataset` through a
+narrow internal surface (its engines, version tree and version state), so
+the dataset class stays thin.  Semantics follow the paper and the
+reference product:
+
+- every branch has a mutable *head* commit; ``commit`` seals the head and
+  opens a fresh child;
+- ``checkout`` to a sealed commit yields a read-only dataset (time travel);
+- ``merge`` matches rows across branches by their stored sample ids and
+  resolves conflicting updates "according to the policy defined by the
+  user".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.chunk_engine import CommitDiff
+from repro.exceptions import (
+    CheckoutError,
+    MergeConflictError,
+    ReadOnlyDatasetError,
+    VersionControlError,
+)
+from repro.util import keys as K
+from repro.util.json_util import json_loads
+
+ConflictPolicy = Union[None, str, Callable]
+
+
+def commit(ds, message: str = "") -> str:
+    """Seal the current head as an immutable snapshot; returns its id."""
+    ds._check_writable()
+    ds.flush()
+    tree = ds._tree
+    vs = ds.version_state
+    sealed = vs.commit_id
+    tree.seal(sealed, message)
+    child = tree.add_child(sealed, vs.branch)
+    vs.commit_id = child.commit_id
+    for engine in ds._engines.values():
+        engine.begin_new_commit()
+    ds._write_dataset_meta()
+    tree.save(ds.storage)
+    return sealed
+
+
+def checkout(ds, address: str, create: bool = False) -> str:
+    """Move to a branch/commit; ``create=True`` forks a new branch."""
+    ds.flush()
+    tree = ds._tree
+    vs = ds.version_state
+    if create:
+        if ds.read_only:
+            raise ReadOnlyDatasetError("cannot create a branch on a read-only dataset")
+        cur = tree.node(vs.commit_id)
+        if cur.is_head:
+            # seal current state so the new branch forks an immutable base
+            base = commit(ds, f"auto commit before creating branch {address!r}")
+        else:
+            base = vs.commit_id
+        node = tree.create_branch(address, base)
+        vs.branch = address
+        vs.commit_id = node.commit_id
+        for engine in ds._engines.values():
+            engine.begin_new_commit()
+        ds._write_dataset_meta()
+        tree.save(ds.storage)
+        ds._set_commit_read_only(False)
+        return node.commit_id
+
+    node = tree.resolve(address)
+    if ds._has_uncommitted_changes() and node.commit_id != vs.commit_id:
+        # match the product: silently keep working state on its head; a
+        # checkout away requires commit first when the head has changes
+        raise CheckoutError(
+            "dataset has uncommitted changes; commit() before checkout "
+            f"(moving from {vs.commit_id[:12]} to {node.commit_id[:12]})"
+        )
+    vs.commit_id = node.commit_id
+    vs.branch = node.branch
+    ds._set_commit_read_only(not node.is_head)
+    ds._reload_version_view()
+    return node.commit_id
+
+
+def log(ds) -> List:
+    """Sealed commits reachable from the current version, newest first."""
+    return ds._tree.log(ds.version_state.commit_id)
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+
+def _read_commit_diff(storage, commit_id: str, tensor: str) -> Optional[CommitDiff]:
+    try:
+        return CommitDiff.from_json(storage[K.commit_diff_key(commit_id, tensor)])
+    except KeyError:
+        return None
+
+
+def accumulate_changes(
+    ds, head: str, ancestor: str, tensors: List[str]
+) -> Dict[str, Dict]:
+    """Union of per-tensor changes on the path head -> ancestor."""
+    out: Dict[str, Dict] = {}
+    path = ds._tree.path_to(head, ancestor)
+    for tensor in tensors:
+        added: List[Tuple[int, int]] = []
+        updated: Set[int] = set()
+        created = False
+        for cid in path:
+            diff = _read_commit_diff(ds.storage, cid, tensor)
+            if diff is None:
+                continue
+            if diff.num_added:
+                added.append(diff.added_range)
+            updated.update(diff.updated)
+            created = created or diff.created
+        added.sort()
+        out[tensor] = {
+            "added_ranges": added,
+            "num_added": sum(e - s for s, e in added),
+            "updated": sorted(updated),
+            "created": created,
+        }
+    return out
+
+
+def diff(ds, target: Optional[str] = None) -> Dict:
+    """Changes of the working head, or both sides vs the common ancestor."""
+    vs = ds.version_state
+    tensors = ds._all_tensor_names(include_hidden=False)
+    if target is None:
+        out = {}
+        for name in tensors:
+            engine = ds._engine(name)
+            d = engine.commit_diff
+            out[name] = {
+                "added_ranges": [d.added_range] if d.num_added else [],
+                "num_added": d.num_added,
+                "updated": sorted(d.updated),
+                "created": d.created,
+            }
+        return {"ours": out, "theirs": None, "lca": None}
+    target_id = ds._tree.resolve(target).commit_id
+    lca = ds._tree.lowest_common_ancestor(vs.commit_id, target_id)
+    target_ds = ds._at_commit(target_id)
+    return {
+        "ours": accumulate_changes(ds, vs.commit_id, lca, tensors),
+        "theirs": accumulate_changes(
+            ds, target_id, lca, target_ds._all_tensor_names(include_hidden=False)
+        ),
+        "lca": lca,
+    }
+
+
+# ---------------------------------------------------------------------------
+# merge
+# ---------------------------------------------------------------------------
+
+
+def _sample_ids(ds, tensor: str) -> Optional[List[int]]:
+    """Stored sample ids of *tensor* (None when the id tensor is absent)."""
+    engine = ds._engine(tensor)
+    id_name = engine.meta.links.get("id")
+    if not id_name or id_name not in ds._all_tensor_names(include_hidden=True):
+        return None
+    id_engine = ds._engine(id_name)
+    return [int(id_engine.read_sample(i)[()]) for i in range(id_engine.num_samples)]
+
+
+def merge(
+    ds,
+    target: str,
+    conflict_resolution: ConflictPolicy = None,
+    commit_message: Optional[str] = None,
+) -> str:
+    """Three-way merge of *target* (branch or commit) into the current head.
+
+    Rows are matched by sample id.  When both sides updated the same row
+    since the common ancestor, ``conflict_resolution`` decides:
+    ``"ours"`` keeps ours, ``"theirs"`` takes theirs, a callable
+    ``fn(ours_value, theirs_value) -> value`` computes the result, and
+    ``None`` raises :class:`MergeConflictError`.
+    """
+    ds._check_writable()
+    ds.flush()
+    tree = ds._tree
+    vs = ds.version_state
+    node = tree.resolve(target)
+    target_id = node.commit_id
+    if node.is_head and node.parent is not None:
+        # merging a branch means merging its last *sealed* state — the
+        # mutable head is an empty working node
+        target_id = node.parent
+    lca = tree.lowest_common_ancestor(vs.commit_id, target_id)
+    if lca == target_id:
+        return vs.commit_id  # target already merged
+
+    target_ds = ds._at_commit(target_id)
+    theirs_tensors = target_ds._all_tensor_names(include_hidden=False)
+    theirs_changes = accumulate_changes(ds, target_id, lca, theirs_tensors)
+    ours_changes = accumulate_changes(
+        ds, vs.commit_id, lca, ds._all_tensor_names(include_hidden=False)
+    )
+
+    conflicts = []
+    plan = []  # (tensor, action, payload...)
+    for tensor in theirs_tensors:
+        change = theirs_changes[tensor]
+        if tensor not in ds._all_tensor_names(include_hidden=False):
+            plan.append(("create_and_copy", tensor))
+            continue
+        ours_ids = _sample_ids(ds, tensor)
+        theirs_ids = _sample_ids(target_ds, tensor)
+        if ours_ids is None or theirs_ids is None:
+            ours_ids = list(range(ds._engine(tensor).num_samples))
+            theirs_ids = list(range(target_ds._engine(tensor).num_samples))
+        ours_index = {sid: i for i, sid in enumerate(ours_ids)}
+        ours_updated_ids = {
+            ours_ids[i]
+            for i in ours_changes.get(tensor, {}).get("updated", [])
+            if i < len(ours_ids)
+        }
+        # new rows on their side
+        for start, end in change["added_ranges"]:
+            for idx in range(start, end):
+                if idx >= len(theirs_ids):
+                    continue
+                sid = theirs_ids[idx]
+                if sid not in ours_index:
+                    plan.append(("append", tensor, idx, sid))
+        # their updates
+        for idx in change["updated"]:
+            if idx >= len(theirs_ids):
+                continue
+            sid = theirs_ids[idx]
+            if sid not in ours_index:
+                continue
+            ours_idx = ours_index[sid]
+            if sid in ours_updated_ids:
+                if conflict_resolution is None:
+                    conflicts.append((tensor, sid, ours_idx, idx))
+                    continue
+                if conflict_resolution == "ours":
+                    continue
+                if conflict_resolution == "theirs":
+                    plan.append(("update", tensor, idx, ours_idx))
+                    continue
+                plan.append(("resolve", tensor, idx, ours_idx))
+            else:
+                plan.append(("update", tensor, idx, ours_idx))
+
+    if conflicts:
+        raise MergeConflictError(conflicts)
+
+    for entry in plan:
+        action, tensor = entry[0], entry[1]
+        if action == "create_and_copy":
+            src_engine = target_ds._engine(tensor)
+            ds._create_tensor_from_meta(tensor, src_engine.meta)
+            src_ids = _sample_ids(target_ds, tensor)
+            for i in range(src_engine.num_samples):
+                value = src_engine.read_sample(i, aslist=True) \
+                    if src_engine.meta.is_sequence else src_engine.read_sample(i)
+                sid = src_ids[i] if src_ids else None
+                ds._append_with_id(tensor, value, sample_id=sid)
+        elif action == "append":
+            _action, tensor, theirs_idx, sid = entry
+            value = target_ds._engine(tensor).read_sample(theirs_idx)
+            ds._append_with_id(tensor, value, sample_id=sid)
+        elif action == "update":
+            _action, tensor, theirs_idx, ours_idx = entry
+            value = target_ds._engine(tensor).read_sample(theirs_idx)
+            ds._update_with_sync(tensor, ours_idx, value)
+        elif action == "resolve":
+            _action, tensor, theirs_idx, ours_idx = entry
+            ours_val = ds._engine(tensor).read_sample(ours_idx)
+            theirs_val = target_ds._engine(tensor).read_sample(theirs_idx)
+            ds._update_with_sync(
+                tensor, ours_idx, conflict_resolution(ours_val, theirs_val)
+            )
+
+    message = commit_message or f"merge {target!r} into {vs.branch!r}"
+    merged = commit(ds, message)
+    ds._tree.node(merged).merge_parent = target_id
+    ds._tree.save(ds.storage)
+    return merged

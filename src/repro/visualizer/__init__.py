@@ -1,0 +1,35 @@
+"""In-browser visualization engine, reproduced as a software renderer plus
+render-command stream (§4.3; substitution rationale in DESIGN.md §1)."""
+
+from repro.visualizer.engine import (
+    BADGE_HTYPES,
+    OVERLAY_HTYPES,
+    PRIMARY_HTYPES,
+    Layer,
+    Scene,
+    Visualizer,
+)
+from repro.visualizer.renderer import (
+    FrameBuffer,
+    color_for,
+    downsample,
+    resize_nearest,
+    to_rgb,
+)
+from repro.visualizer.font import glyph, text_mask
+
+__all__ = [
+    "Visualizer",
+    "Scene",
+    "Layer",
+    "PRIMARY_HTYPES",
+    "OVERLAY_HTYPES",
+    "BADGE_HTYPES",
+    "FrameBuffer",
+    "to_rgb",
+    "downsample",
+    "resize_nearest",
+    "color_for",
+    "glyph",
+    "text_mask",
+]

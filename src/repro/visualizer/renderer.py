@@ -1,0 +1,166 @@
+"""Software renderer: the numpy stand-in for the WebGL backend.
+
+A :class:`FrameBuffer` is an RGB canvas with the primitive set a WebGL
+annotation renderer needs — blit, rectangles, mask blending, polylines,
+bitmap text — plus area downsampling for thumbnail/pyramid levels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import VisualizerError
+from repro.visualizer.font import text_mask
+
+Color = Tuple[int, int, int]
+
+PALETTE: Tuple[Color, ...] = (
+    (230, 57, 70), (29, 53, 87), (42, 157, 143), (233, 196, 106),
+    (244, 162, 97), (38, 70, 83), (144, 190, 109), (249, 132, 74),
+    (87, 117, 144), (160, 108, 213),
+)
+
+
+def color_for(index: int) -> Color:
+    return PALETTE[index % len(PALETTE)]
+
+
+def to_rgb(image: np.ndarray) -> np.ndarray:
+    """Normalise any decoded sample into an HxWx3 uint8 image."""
+    arr = np.asarray(image)
+    if arr.dtype == bool:
+        arr = arr.astype(np.uint8) * 255
+    if arr.dtype != np.uint8:
+        lo = float(arr.min()) if arr.size else 0.0
+        hi = float(arr.max()) if arr.size else 1.0
+        scale = 255.0 / (hi - lo) if hi > lo else 0.0
+        arr = ((arr.astype(np.float64) - lo) * scale).astype(np.uint8)
+    if arr.ndim == 2:
+        arr = np.stack([arr] * 3, axis=-1)
+    if arr.ndim != 3:
+        raise VisualizerError(f"cannot render array of shape {arr.shape}")
+    if arr.shape[2] == 1:
+        arr = np.repeat(arr, 3, axis=2)
+    elif arr.shape[2] > 3:
+        arr = arr[:, :, :3]
+    elif arr.shape[2] == 2:
+        arr = np.concatenate([arr, arr[:, :, :1]], axis=2)
+    return np.ascontiguousarray(arr)
+
+
+def downsample(image: np.ndarray, factor: int) -> np.ndarray:
+    """Area-mean downsample by an integer factor."""
+    if factor <= 1:
+        return image
+    h, w = image.shape[:2]
+    th, tw = h // factor, w // factor
+    if th == 0 or tw == 0:
+        return image[:1, :1]
+    crop = image[: th * factor, : tw * factor].astype(np.float32)
+    crop = crop.reshape(th, factor, tw, factor, -1).mean(axis=(1, 3))
+    return crop.astype(image.dtype if image.dtype == np.uint8 else np.uint8)
+
+
+def fit_scale(shape: Sequence[int], viewport: Sequence[int]) -> float:
+    """Largest scale that fits *shape* into *viewport*."""
+    return min(viewport[0] / shape[0], viewport[1] / shape[1])
+
+
+def resize_nearest(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    h, w = image.shape[:2]
+    ys = np.clip((np.arange(out_h) * h / out_h).astype(int), 0, h - 1)
+    xs = np.clip((np.arange(out_w) * w / out_w).astype(int), 0, w - 1)
+    return image[ys][:, xs]
+
+
+class FrameBuffer:
+    """RGB canvas with annotation primitives."""
+
+    def __init__(self, height: int, width: int, background: Color = (24, 24, 28)):
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.pixels[:] = background
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.pixels.shape[:2]
+
+    # -- primitives ------------------------------------------------------
+
+    def blit(self, image: np.ndarray, y: int, x: int) -> None:
+        img = to_rgb(image)
+        h, w = self.shape
+        ih, iw = img.shape[:2]
+        y0, x0 = max(0, y), max(0, x)
+        y1, x1 = min(h, y + ih), min(w, x + iw)
+        if y1 <= y0 or x1 <= x0:
+            return
+        self.pixels[y0:y1, x0:x1] = img[y0 - y : y1 - y, x0 - x : x1 - x]
+
+    def draw_rect(
+        self,
+        y0: int,
+        x0: int,
+        y1: int,
+        x1: int,
+        color: Color,
+        thickness: int = 2,
+    ) -> None:
+        h, w = self.shape
+        y0, y1 = sorted((int(y0), int(y1)))
+        x0, x1 = sorted((int(x0), int(x1)))
+        y0c, y1c = max(0, y0), min(h, y1)
+        x0c, x1c = max(0, x0), min(w, x1)
+        if y1c <= y0c or x1c <= x0c:
+            return
+        t = max(1, thickness)
+        self.pixels[y0c : min(y0c + t, y1c), x0c:x1c] = color
+        self.pixels[max(y1c - t, y0c) : y1c, x0c:x1c] = color
+        self.pixels[y0c:y1c, x0c : min(x0c + t, x1c)] = color
+        self.pixels[y0c:y1c, max(x1c - t, x0c) : x1c] = color
+
+    def blend_mask(self, mask: np.ndarray, y: int, x: int, color: Color,
+                   alpha: float = 0.45) -> None:
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            mask = mask > 0
+        h, w = self.shape
+        mh, mw = mask.shape[:2]
+        y0, x0 = max(0, y), max(0, x)
+        y1, x1 = min(h, y + mh), min(w, x + mw)
+        if y1 <= y0 or x1 <= x0:
+            return
+        sub = mask[y0 - y : y1 - y, x0 - x : x1 - x]
+        region = self.pixels[y0:y1, x0:x1].astype(np.float32)
+        tint = np.asarray(color, dtype=np.float32)
+        region[sub] = region[sub] * (1 - alpha) + tint * alpha
+        self.pixels[y0:y1, x0:x1] = region.astype(np.uint8)
+
+    def draw_polyline(self, points: Sequence[Tuple[int, int]], color: Color,
+                      thickness: int = 1) -> None:
+        for (y0, x0), (y1, x1) in zip(points, points[1:]):
+            n = int(max(abs(y1 - y0), abs(x1 - x0))) + 1
+            ys = np.linspace(y0, y1, n).astype(int)
+            xs = np.linspace(x0, x1, n).astype(int)
+            h, w = self.shape
+            t = max(1, thickness)
+            for dy in range(-(t // 2), t - t // 2):
+                for dx in range(-(t // 2), t - t // 2):
+                    yy = np.clip(ys + dy, 0, h - 1)
+                    xx = np.clip(xs + dx, 0, w - 1)
+                    self.pixels[yy, xx] = color
+
+    def draw_text(self, text: str, y: int, x: int, color: Color = (255, 255, 255),
+                  scale: int = 1, background: Color | None = (0, 0, 0)) -> None:
+        mask = text_mask(text, scale=scale)
+        if background is not None:
+            pad = scale
+            bg = np.ones(
+                (mask.shape[0] + 2 * pad, mask.shape[1] + 2 * pad), dtype=bool
+            )
+            self.blend_mask(bg, y - pad, x - pad, background, alpha=0.7)
+        self.blend_mask(mask, y, x, color, alpha=1.0)
+
+    def mean_color(self) -> np.ndarray:
+        return self.pixels.reshape(-1, 3).mean(axis=0)

@@ -1,0 +1,42 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+Benchmarks depend on sample-size distributions and counts, not pixel
+content, so each generator reproduces the relevant distribution at a
+configurable scale (DESIGN.md §1):
+
+- :func:`ffhq_like` — Fig 6: 1024×1024×3 uint8 portraits (~3 MB raw each);
+- :func:`imagenet_like` — Fig 7/8/9: ragged natural images around
+  250×250×3, JPEG-compressible;
+- :func:`laion_like` — Fig 10: image+caption(+URL) pairs;
+- :func:`detection_like` — Fig 5: images with bboxes and labels;
+- :func:`video_like` — clips for the video path.
+
+Images are produced by smoothing seeded noise so the DCT codec sees
+natural-image statistics (pure noise would not compress at all).
+"""
+
+from repro.workloads.generators import (
+    detection_like,
+    ffhq_like,
+    imagenet_like,
+    laion_like,
+    smooth_image,
+    video_like,
+)
+from repro.workloads.builders import (
+    build_detection_dataset,
+    build_image_classification_dataset,
+    write_imagefolder,
+)
+
+__all__ = [
+    "smooth_image",
+    "ffhq_like",
+    "imagenet_like",
+    "laion_like",
+    "detection_like",
+    "video_like",
+    "build_image_classification_dataset",
+    "build_detection_dataset",
+    "write_imagefolder",
+]

@@ -1,0 +1,98 @@
+"""Dataset builders: turn generators into Deep Lake datasets or on-disk
+file layouts (the one-file-per-sample corpus the baselines ingest)."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+import repro
+from repro.compression import compress_array
+from repro.workloads.generators import detection_like, imagenet_like
+
+
+def build_image_classification_dataset(
+    path: str,
+    n: int,
+    seed: int = 0,
+    base: int = 250,
+    ragged: bool = True,
+    sample_compression: str = "jpeg",
+    max_chunk_size: Optional[int] = None,
+    hidden_tensors: bool = False,
+):
+    """ImageNet-like (images, labels) dataset at *path* (Fig 7/8/9)."""
+    ds = repro.empty(path, overwrite=True)
+    kwargs = {}
+    if max_chunk_size:
+        kwargs["max_chunk_size"] = max_chunk_size
+    ds.create_tensor(
+        "images",
+        htype="image",
+        sample_compression=sample_compression,
+        create_shape_tensor=hidden_tensors,
+        create_id_tensor=hidden_tensors,
+        **kwargs,
+    )
+    ds.create_tensor(
+        "labels",
+        htype="class_label",
+        chunk_compression="lz4",
+        create_shape_tensor=hidden_tensors,
+        create_id_tensor=hidden_tensors,
+    )
+    for image, label in imagenet_like(n, seed=seed, base=base, ragged=ragged):
+        ds.append({"images": image, "labels": np.int32(label)})
+    ds.flush()
+    return ds
+
+
+def build_detection_dataset(path: str, n: int, seed: int = 0,
+                            resolution: int = 600):
+    """Detection dataset with gt + predicted boxes (the Fig 5 scenario)."""
+    ds = repro.empty(path, overwrite=True)
+    ds.create_tensor("images", htype="image", sample_compression="jpeg")
+    ds.create_tensor("boxes", htype="bbox")
+    ds.create_tensor(
+        "labels", htype="class_label",
+        class_names=[f"class_{i}" for i in range(10)],
+    )
+    ds.create_group("training")
+    ds.create_tensor("training/boxes", htype="bbox")
+    for row in detection_like(n, seed=seed, resolution=resolution):
+        ds.append(
+            {
+                "images": row["image"],
+                "boxes": row["pred_boxes"],
+                "labels": np.int32(row["label"]),
+                "training/boxes": row["gt_boxes"],
+            }
+        )
+    ds.flush()
+    return ds
+
+
+def write_imagefolder(
+    root: str, n: int, seed: int = 0, base: int = 250, ragged: bool = True
+) -> Tuple[int, int]:
+    """One-file-per-sample JPEG layout (the 'native PyTorch' baseline and
+    the raw corpus cloud experiments copy around).
+
+    Returns (n_files, total_bytes).
+    """
+    os.makedirs(root, exist_ok=True)
+    total = 0
+    count = 0
+    for i, (image, label) in enumerate(
+        imagenet_like(n, seed=seed, base=base, ragged=ragged)
+    ):
+        cls_dir = os.path.join(root, f"class_{label % 16:02d}")
+        os.makedirs(cls_dir, exist_ok=True)
+        payload = compress_array(image, "jpeg")
+        with open(os.path.join(cls_dir, f"{i:06d}.jsim"), "wb") as f:
+            f.write(payload)
+        total += len(payload)
+        count += 1
+    return count, total

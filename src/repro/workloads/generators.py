@@ -1,0 +1,129 @@
+"""Seeded generators of natural-image-like synthetic samples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def smooth_image(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    channels: int = 3,
+    smoothness: int = 4,
+) -> np.ndarray:
+    """Natural-image-like uint8 array: low-res noise upsampled + dithered.
+
+    Has strong low-frequency energy (like photos), so the DCT codec
+    reaches realistic ratios and the decoder pays realistic CPU cost.
+    """
+    lh = max(2, height // max(1, smoothness))
+    lw = max(2, width // max(1, smoothness))
+    base = rng.integers(0, 255, (lh, lw, channels)).astype(np.float32)
+    # bilinear-ish upsample via repeat + box blur
+    up = np.repeat(np.repeat(base, -(-height // lh), axis=0),
+                   -(-width // lw), axis=1)[:height, :width]
+    kernel = 3
+    padded = np.pad(up, ((kernel, kernel), (kernel, kernel), (0, 0)), mode="edge")
+    out = np.zeros_like(up)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            out += padded[
+                kernel + dy : kernel + dy + height,
+                kernel + dx : kernel + dx + width,
+            ]
+    out /= 9.0
+    noise = rng.normal(0, 3.0, out.shape).astype(np.float32)
+    return np.clip(out + noise, 0, 255).astype(np.uint8)
+
+
+def ffhq_like(
+    n: int, seed: int = 0, resolution: int = 1024
+) -> Iterator[np.ndarray]:
+    """Fig 6 workload: n uncompressed portraits, resolution² × 3 (~3 MB)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        yield smooth_image(rng, resolution, resolution, 3, smoothness=8)
+
+
+def imagenet_like(
+    n: int,
+    seed: int = 0,
+    base: int = 250,
+    ragged: bool = True,
+) -> Iterator[Tuple[np.ndarray, int]]:
+    """Fig 7/8/9 workload: (image, label) pairs around base×base×3."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        if ragged:
+            h = int(rng.integers(base - 30, base + 31))
+            w = int(rng.integers(base - 30, base + 31))
+        else:
+            h = w = base
+        yield smooth_image(rng, h, w, 3), int(rng.integers(0, 1000))
+
+
+_WORDS = (
+    "photo of a cat sitting on grass sunset over mountains close up "
+    "portrait vintage car city street at night watercolor painting dog "
+    "running beach waves forest path snowy peak abstract texture"
+).split()
+
+
+def laion_like(
+    n: int, seed: int = 0, resolution: int = 224
+) -> Iterator[Dict]:
+    """Fig 10 workload: {image, caption, url} multimodal pairs."""
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        words = rng.choice(_WORDS, size=int(rng.integers(4, 12)))
+        yield {
+            "image": smooth_image(rng, resolution, resolution, 3),
+            "caption": " ".join(words),
+            "url": f"https://img.example/{seed}/{i:08d}.jpg",
+        }
+
+
+def detection_like(
+    n: int, seed: int = 0, resolution: int = 600, max_boxes: int = 4
+) -> Iterator[Dict]:
+    """Fig 5 workload: image + ground-truth boxes + noisy predicted boxes
+    + class label."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        k = int(rng.integers(1, max_boxes + 1))
+        boxes = np.zeros((k, 4), dtype=np.float32)
+        for b in range(k):
+            w = float(rng.integers(40, resolution // 2))
+            h = float(rng.integers(40, resolution // 2))
+            x = float(rng.integers(0, int(resolution - w)))
+            y = float(rng.integers(0, int(resolution - h)))
+            boxes[b] = (x, y, w, h)
+        noise = rng.normal(0, rng.choice([2.0, 40.0]), boxes.shape)
+        pred = (boxes + noise).astype(np.float32)
+        yield {
+            "image": smooth_image(rng, resolution, resolution, 3),
+            "gt_boxes": boxes,
+            "pred_boxes": pred,
+            "label": int(rng.integers(0, 10)),
+        }
+
+
+def video_like(
+    n: int,
+    seed: int = 0,
+    frames: int = 24,
+    resolution: int = 128,
+) -> Iterator[np.ndarray]:
+    """Short clips: a panning crop over a larger still (codec-friendly)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        still = smooth_image(rng, resolution * 2, resolution * 2, 3)
+        clip = np.empty((frames, resolution, resolution, 3), dtype=np.uint8)
+        dx = int(rng.integers(1, 4))
+        for t in range(frames):
+            off = min(t * dx, resolution)
+            clip[t] = still[off : off + resolution, off : off + resolution]
+        yield clip

@@ -1,0 +1,278 @@
+"""Baseline formats: roundtrips, layout properties, loaders."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BetonReader,
+    FFCVLoader,
+    ImageFolderLoader,
+    SquirrelLoader,
+    WebDatasetLoader,
+    n5_like,
+    parquet_like,
+    squirrel_like,
+    tfrecord_like,
+    webdataset_like,
+    write_beton,
+    zarr_like,
+)
+from repro.exceptions import ChunkCorruptedError, FormatError
+from repro.storage import MemoryProvider
+from repro.workloads import ffhq_like, imagenet_like
+
+
+@pytest.fixture
+def images():
+    return [im for im in ffhq_like(4, seed=0, resolution=48)]
+
+
+@pytest.fixture
+def pairs():
+    return list(imagenet_like(24, seed=1, base=48, ragged=False))
+
+
+class TestZarrN5:
+    def test_zarr_roundtrip(self, images):
+        storage = MemoryProvider()
+        zarr_like.write_images(storage, iter(images), len(images))
+        for i, img in enumerate(images):
+            assert np.array_equal(zarr_like.read_image(storage, i), img)
+
+    def test_zarr_one_blob_per_chunk(self, images):
+        storage = MemoryProvider()
+        zarr_like.write_images(storage, iter(images), len(images))
+        chunk_keys = [k for k in storage if k.startswith("c/")]
+        assert len(chunk_keys) == len(images)
+
+    def test_zarr_rejects_ragged(self, images, rng):
+        storage = MemoryProvider()
+        ragged = images[:2] + [rng.integers(0, 255, (50, 48, 3),
+                                            dtype=np.uint8)]
+        with pytest.raises(FormatError):
+            zarr_like.write_images(storage, iter(ragged), 3)
+
+    def test_zarr_chunk_shape_check(self, images):
+        storage = MemoryProvider()
+        arr = zarr_like.ZarrLikeArray.create(
+            storage, (2, 4, 4), (1, 4, 4), "uint8"
+        )
+        with pytest.raises(FormatError):
+            arr.write_chunk((0, 0, 0), np.zeros((2, 4, 4), dtype=np.uint8))
+
+    def test_n5_roundtrip(self, images):
+        storage = MemoryProvider()
+        n5_like.write_images(storage, iter(images), len(images))
+        for i, img in enumerate(images):
+            assert np.array_equal(n5_like.read_image(storage, i), img)
+
+    def test_n5_nested_paths(self, images):
+        storage = MemoryProvider()
+        n5_like.write_images(storage, iter(images), len(images))
+        assert "0/0/0/0" in storage
+
+
+class TestWebDataset:
+    def test_shard_roundtrip(self, pairs):
+        storage = MemoryProvider()
+        keys = webdataset_like.write_shards(storage, pairs,
+                                            samples_per_shard=10)
+        assert len(keys) == 3
+        samples = [
+            s for k in keys
+            for s in webdataset_like.iter_shard(storage, k)
+        ]
+        assert len(samples) == 24
+        assert samples[0]["label"] == pairs[0][1]
+
+    def test_loader_covers_all(self, pairs):
+        storage = MemoryProvider()
+        webdataset_like.write_shards(storage, pairs, samples_per_shard=8)
+        loader = WebDatasetLoader(storage, shuffle_buffer=10, seed=0)
+        labels = []
+        for batch in loader.iter_batches(5):
+            labels.extend(np.atleast_1d(batch["label"]).tolist())
+        assert sorted(labels) == sorted(p[1] for p in pairs)
+
+    def test_sequential_reads_whole_shards(self, pairs):
+        storage = MemoryProvider()
+        webdataset_like.write_shards(storage, pairs, samples_per_shard=24)
+        storage.stats.reset()
+        loader = WebDatasetLoader(storage, shuffle_buffer=1)
+        next(loader.iter_batches(1))
+        # one LIST + one GET of the whole shard, not per-sample requests
+        assert storage.stats.get_requests == 1
+
+
+class TestBeton:
+    def test_roundtrip_and_memmap(self, pairs, tmp_path):
+        path = str(tmp_path / "d.beton")
+        n = write_beton(path, pairs)
+        assert n == 24
+        reader = BetonReader(path)
+        img, label = reader.read(7)
+        assert label == pairs[7][1]
+        assert img.shape == pairs[7][0].shape
+
+    def test_single_file(self, pairs, tmp_path):
+        path = str(tmp_path / "d.beton")
+        write_beton(path, pairs)
+        assert os.path.getsize(path) > 0
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "junk.beton")
+        with open(path, "wb") as f:
+            f.write(b"JUNKJUNKJUNKJUNK" * 10)
+        with pytest.raises(FormatError):
+            BetonReader(path)
+
+    def test_loader(self, pairs, tmp_path):
+        path = str(tmp_path / "d.beton")
+        write_beton(path, pairs)
+        loader = FFCVLoader(path, num_workers=2, seed=0)
+        labels = []
+        for batch in loader.iter_batches(6):
+            labels.extend(np.atleast_1d(batch["label"]).tolist())
+        assert sorted(labels) == sorted(p[1] for p in pairs)
+
+    def test_uncompressed_mode(self, pairs, tmp_path):
+        path = str(tmp_path / "raw.beton")
+        write_beton(path, pairs[:4], compression=None)
+        reader = BetonReader(path, compression=None)
+        img, _ = reader.read(2)
+        assert np.array_equal(img, pairs[2][0])
+
+
+class TestTFRecord:
+    def test_roundtrip(self, pairs, tmp_path):
+        path = str(tmp_path / "d.tfrec")
+        n = tfrecord_like.write_records(path, pairs)
+        records = list(tfrecord_like.read_records(path))
+        assert len(records) == n == 24
+        assert records[3]["label"] == pairs[3][1]
+
+    def test_crc_detects_corruption(self, pairs, tmp_path):
+        path = str(tmp_path / "d.tfrec")
+        tfrecord_like.write_records(path, pairs[:3])
+        with open(path, "r+b") as f:
+            f.seek(200)
+            f.write(b"\xff\xff\xff")
+        with pytest.raises(ChunkCorruptedError):
+            list(tfrecord_like.read_records(path))
+
+    def test_skip_verification(self, pairs, tmp_path):
+        path = str(tmp_path / "d.tfrec")
+        tfrecord_like.write_records(path, pairs[:3])
+        assert len(list(tfrecord_like.read_records(path, verify=False))) == 3
+
+
+class TestParquetLike:
+    def test_full_roundtrip(self):
+        storage = MemoryProvider()
+        cols = {
+            "i": list(range(10)),
+            "f": [x * 0.5 for x in range(10)],
+            "s": [f"row{i}" for i in range(10)],
+            "b": [bytes([i]) * i for i in range(10)],
+        }
+        f = parquet_like.write_table(storage, "t.pars", cols,
+                                     row_group_size=3)
+        out = f.read()
+        assert out == cols
+
+    def test_column_pruning_reads_less(self):
+        storage = MemoryProvider()
+        cols = {"big": [b"x" * 10_000] * 20, "small": list(range(20))}
+        f = parquet_like.write_table(storage, "t.pars", cols,
+                                     row_group_size=5, compression=None)
+        storage.stats.reset()
+        f.read(columns=["small"])
+        assert storage.stats.bytes_read < 5_000
+
+    def test_row_group_selection(self):
+        storage = MemoryProvider()
+        f = parquet_like.write_table(
+            storage, "t.pars", {"v": list(range(100))}, row_group_size=10
+        )
+        out = f.read(row_groups=[3])
+        assert out["v"] == list(range(30, 40))
+
+    def test_unknown_column(self):
+        storage = MemoryProvider()
+        f = parquet_like.write_table(storage, "t.pars", {"a": [1]})
+        with pytest.raises(FormatError):
+            f.read(columns=["zzz"])
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(FormatError):
+            parquet_like.write_table(MemoryProvider(), "t.pars",
+                                     {"a": [1], "b": [1, 2]})
+
+    @given(
+        ints=st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=30),
+        group=st.integers(1, 7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_int_roundtrip(self, ints, group):
+        storage = MemoryProvider()
+        f = parquet_like.write_table(storage, "t.pars", {"v": ints},
+                                     row_group_size=group)
+        assert f.read()["v"] == ints
+
+
+class TestSquirrel:
+    def test_record_pack_unpack(self, rng):
+        rec = {
+            "i": 7, "f": 0.5, "s": "hello", "b": b"\x00\x01",
+            "arr": rng.random((3, 4)).astype(np.float32),
+        }
+        out, _ = squirrel_like.unpack_record(squirrel_like.pack_record(rec))
+        assert out["i"] == 7 and out["s"] == "hello"
+        assert np.array_equal(out["arr"], rec["arr"])
+
+    def test_shard_roundtrip_and_loader(self, pairs):
+        storage = MemoryProvider()
+        squirrel_like.write_shards(
+            storage,
+            ({"image": im, "label": lb} for im, lb in pairs),
+            records_per_shard=7,
+        )
+        loader = SquirrelLoader(storage, num_workers=2, seed=0)
+        labels = []
+        for batch in loader.iter_batches(5):
+            labels.extend(np.atleast_1d(batch["label"]).tolist())
+        assert sorted(labels) == sorted(p[1] for p in pairs)
+
+
+class TestImageFolder:
+    def test_listing_and_loading(self, tmp_path):
+        from repro.workloads.builders import write_imagefolder
+
+        root = str(tmp_path / "imgs")
+        n, _ = write_imagefolder(root, 15, seed=0, base=32, ragged=False)
+        loader = ImageFolderLoader(root, num_workers=2, seed=0)
+        assert len(loader) == 15
+        count = 0
+        for batch in loader.iter_batches(4):
+            count += len(np.atleast_1d(batch["label"]))
+        assert count == 15
+
+    def test_one_request_per_sample(self, tmp_path):
+        """The property that ruins this layout on object storage."""
+        from repro.baselines.folder_loader import upload_folder_to_provider
+        from repro.workloads.builders import write_imagefolder
+
+        root = str(tmp_path / "imgs")
+        write_imagefolder(root, 10, seed=0, base=32, ragged=False)
+        remote = MemoryProvider()
+        upload_folder_to_provider(root, remote)
+        loader = ImageFolderLoader(remote, num_workers=1, shuffle=False)
+        remote.stats.reset()
+        for _ in loader.iter_batches(5):
+            pass
+        assert remote.stats.get_requests >= 10

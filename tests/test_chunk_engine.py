@@ -1,0 +1,280 @@
+"""ChunkEngine behaviour: chunking bounds, partial reads, tiling, updates,
+sequences, sparse padding, rechunking, I/O accounting."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.chunk_engine import ChunkEngine
+from repro.core.meta import TensorMeta
+from repro.core.version_state import VersionState
+from repro.exceptions import FormatError, SampleIndexError
+from repro.storage import MemoryProvider
+
+
+def make_engine(storage=None, **meta_kwargs):
+    if storage is None:  # NB: empty providers are falsy (len() == 0)
+        storage = MemoryProvider()
+    meta_kwargs.setdefault("htype", "generic")
+    meta = TensorMeta(**meta_kwargs)
+    vs = VersionState()
+    return ChunkEngine("t", storage, vs, meta=meta), storage
+
+
+class TestChunkingBounds:
+    def test_small_samples_pack_into_one_chunk(self):
+        engine, _ = make_engine(dtype="int64", max_chunk_size=1 << 20)
+        engine.extend([np.arange(10, dtype=np.int64)] * 50)
+        engine.flush()
+        assert engine.enc.num_chunks == 1
+        assert engine.num_samples == 50
+
+    def test_chunks_split_at_upper_bound(self):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=1000)
+        for _ in range(10):
+            engine.append(np.zeros(400, dtype=np.uint8))
+        engine.flush()
+        # 400B samples, 1000B bound -> 2 per chunk
+        assert engine.enc.num_chunks == 5
+
+    def test_single_giant_video_not_tiled(self):
+        engine, _ = make_engine(
+            htype="video", sample_compression="mp4", max_chunk_size=1024
+        )
+        clip = np.zeros((4, 32, 32, 3), dtype=np.uint8)
+        engine.append(clip)
+        assert engine.tile_enc.num_tiled == 0
+        assert engine.read_sample(0).shape == clip.shape
+
+    def test_flush_persists_and_reloads(self):
+        storage = MemoryProvider()
+        engine, _ = make_engine(storage, dtype="float32")
+        engine.extend([np.ones((3, 3), dtype=np.float32) * i for i in range(5)])
+        engine.flush()
+        fresh = ChunkEngine("t", storage, VersionState())
+        assert fresh.num_samples == 5
+        assert np.array_equal(
+            fresh.read_sample(4), np.ones((3, 3), dtype=np.float32) * 4
+        )
+
+    def test_ragged_shapes(self):
+        engine, _ = make_engine(dtype="int32")
+        engine.append(np.zeros((2, 5), dtype=np.int32))
+        engine.append(np.zeros((9, 1), dtype=np.int32))
+        assert engine.read_shape(0) == (2, 5)
+        assert engine.read_shape(1) == (9, 1)
+        assert engine.meta.shape_interval.astuple() == (None, None)
+
+    def test_dtype_mismatch_rejected(self):
+        engine, _ = make_engine(dtype="int32")
+        engine.append(np.zeros(3, dtype=np.int32))
+        with pytest.raises(FormatError):
+            engine.append(np.zeros(3, dtype=np.complex128))
+
+
+class TestPartialReads:
+    def make_jpeg_engine(self, rng, n=30, chunk=1 << 20):
+        storage = MemoryProvider()
+        engine, _ = make_engine(
+            storage, htype="image", sample_compression="jpeg",
+            max_chunk_size=chunk,
+        )
+        from repro.workloads import smooth_image
+
+        for _ in range(n):
+            engine.append(smooth_image(rng, 40, 40))
+        engine.flush()
+        return engine, storage
+
+    def test_random_access_uses_ranged_reads(self, rng):
+        engine, storage = self.make_jpeg_engine(rng)
+        fresh = ChunkEngine("t", storage, VersionState())
+        storage.stats.reset()
+        _ = fresh.read_sample(17)
+        assert fresh.partial_reads == 1
+        # header probe + sample range, both far below chunk size
+        assert storage.stats.bytes_read < 30_000
+
+    def test_prefer_full_caches_whole_chunk(self, rng):
+        engine, storage = self.make_jpeg_engine(rng)
+        fresh = ChunkEngine("t", storage, VersionState())
+        _ = fresh.read_sample(3, prefer_full=True)
+        assert fresh.partial_reads == 0
+        storage.stats.reset()
+        _ = fresh.read_sample(4, prefer_full=True)  # same chunk: cached
+        assert storage.stats.get_requests == 0
+
+    def test_chunk_compressed_never_partial(self):
+        storage = MemoryProvider()
+        engine, _ = make_engine(storage, dtype="int64",
+                                chunk_compression="lz4")
+        engine.extend([np.arange(100, dtype=np.int64)] * 20)
+        engine.flush()
+        fresh = ChunkEngine("t", storage, VersionState())
+        _ = fresh.read_sample(10)
+        assert fresh.partial_reads == 0
+
+    def test_read_shape_via_header_only(self, rng):
+        engine, storage = self.make_jpeg_engine(rng)
+        fresh = ChunkEngine("t", storage, VersionState())
+        storage.stats.reset()
+        assert fresh.read_shape(5) == (40, 40, 3)
+        assert storage.stats.bytes_read < 8192  # header probe only
+
+
+class TestTiledSamples:
+    def test_roundtrip_and_region(self, rng):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=4096)
+        big = rng.integers(0, 255, (128, 96, 3), dtype=np.uint8)
+        engine.append(big)
+        assert engine.tile_enc.num_tiled == 1
+        assert np.array_equal(engine.read_sample(0), big)
+        region = engine.read_tiled_region(0, (slice(30, 60), slice(10, 20)))
+        assert np.array_equal(region, big[30:60, 10:20])
+
+    def test_tiled_between_normal_samples(self, rng):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=4096)
+        small1 = rng.integers(0, 255, (10, 10, 3), dtype=np.uint8)
+        big = rng.integers(0, 255, (100, 100, 3), dtype=np.uint8)
+        small2 = rng.integers(0, 255, (12, 12, 3), dtype=np.uint8)
+        engine.append(small1)
+        engine.append(big)
+        engine.append(small2)
+        assert np.array_equal(engine.read_sample(0), small1)
+        assert np.array_equal(engine.read_sample(1), big)
+        assert np.array_equal(engine.read_sample(2), small2)
+
+    def test_same_shape_update(self, rng):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=4096)
+        big = rng.integers(0, 255, (100, 100, 3), dtype=np.uint8)
+        engine.append(big)
+        new = rng.integers(0, 255, (100, 100, 3), dtype=np.uint8)
+        engine.update(0, new)
+        assert np.array_equal(engine.read_sample(0), new)
+
+    def test_shape_changing_tiled_update_rejected(self, rng):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=4096)
+        engine.append(rng.integers(0, 255, (100, 100, 3), dtype=np.uint8))
+        with pytest.raises(FormatError):
+            engine.update(0, rng.integers(0, 255, (50, 50, 3), dtype=np.uint8))
+
+
+class TestUpdates:
+    def test_update_same_chunk(self):
+        engine, _ = make_engine(dtype="int64")
+        engine.extend([np.array([i], dtype=np.int64) for i in range(10)])
+        engine.update(4, np.array([99, 100], dtype=np.int64))
+        assert np.array_equal(engine.read_sample(4), [99, 100])
+        assert np.array_equal(engine.read_sample(5), [5])
+        assert engine.commit_diff.updated == set()  # still in added range
+
+    def test_update_out_of_range(self):
+        engine, _ = make_engine(dtype="int64")
+        engine.append(np.zeros(1, dtype=np.int64))
+        with pytest.raises(SampleIndexError):
+            engine.update(5, np.zeros(1, dtype=np.int64))
+
+    def test_negative_index(self):
+        engine, _ = make_engine(dtype="int64")
+        engine.extend([np.array([i], dtype=np.int64) for i in range(4)])
+        engine.update(-1, np.array([42], dtype=np.int64))
+        assert engine.read_sample(3)[0] == 42
+        assert np.array_equal(engine.read_sample(-1), [42])
+
+
+class TestSequences:
+    def test_sequence_roundtrip(self, rng):
+        engine, _ = make_engine(htype="sequence[generic]", dtype="float32")
+        seqs = [
+            [rng.random((2, 2)).astype(np.float32) for _ in range(k)]
+            for k in (3, 1, 4)
+        ]
+        for seq in seqs:
+            engine.append(seq)
+        assert engine.num_samples == 3
+        for i, seq in enumerate(seqs):
+            out = engine.read_sample(i, aslist=True)
+            assert len(out) == len(seq)
+            for a, b in zip(out, seq):
+                assert np.array_equal(a, b)
+
+    def test_sequence_stacks_uniform(self, rng):
+        engine, _ = make_engine(htype="sequence[generic]", dtype="int32")
+        engine.append([np.zeros((2,), dtype=np.int32)] * 5)
+        out = engine.read_sample(0)
+        assert out.shape == (5, 2)
+
+    def test_sequence_shape(self, rng):
+        engine, _ = make_engine(htype="sequence[generic]", dtype="int32")
+        engine.append([np.zeros((3, 4), dtype=np.int32)] * 2)
+        assert engine.read_shape(0) == (2, 3, 4)
+
+    def test_sequence_update_unsupported(self, rng):
+        engine, _ = make_engine(htype="sequence[generic]", dtype="int32")
+        engine.append([np.zeros(1, dtype=np.int32)])
+        with pytest.raises(FormatError):
+            engine.update(0, [np.zeros(1, dtype=np.int32)])
+
+
+class TestSparsePadding:
+    def test_pad_then_read_empty(self):
+        engine, _ = make_engine(dtype="float64")
+        engine.append(np.ones((2, 2)))
+        engine.pad_to(5)
+        assert engine.num_samples == 5
+        assert engine.read_sample(3).size == 0
+        assert engine.pad_enc.num_padded == 4
+
+    def test_update_unpads(self):
+        engine, _ = make_engine(dtype="float64")
+        engine.append(np.ones((2, 2)))
+        engine.pad_to(4)
+        engine.update(2, np.full((2, 2), 7.0))
+        assert not engine.pad_enc.is_padded(2)
+        assert engine.read_sample(2)[0, 0] == 7.0
+
+
+class TestRechunk:
+    def test_rechunk_preserves_data_and_tightens(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=2048)
+        values = [np.arange(i % 40, dtype=np.int64) for i in range(120)]
+        engine.extend(values)
+        for i in range(0, 120, 11):
+            values[i] = np.arange(60, dtype=np.int64)
+            engine.update(i, values[i])
+        before_chunks = engine.enc.num_chunks
+        engine.rechunk()
+        for i, v in enumerate(values):
+            assert np.array_equal(engine.read_sample(i), v)
+        assert engine.enc.num_samples == 120
+        # old orphaned chunks removed from storage
+        chunk_keys = [k for k in storage if "/chunks/" in k]
+        assert len(chunk_keys) == engine.enc.num_chunks == len(
+            set(n for n, _s, _e in engine.chunk_layout())
+        )
+
+    def test_rechunk_retiles_oversize(self, rng):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=4096)
+        big = rng.integers(0, 255, (100, 100, 3), dtype=np.uint8)
+        engine.append(rng.integers(0, 255, (8, 8, 3), dtype=np.uint8))
+        engine.append(big)
+        engine.rechunk()
+        assert np.array_equal(engine.read_sample(1), big)
+        assert engine.tile_enc.num_tiled == 1
+
+
+class TestTextJson:
+    def test_text_tensor(self):
+        engine, _ = make_engine(htype="text")
+        engine.append("hello world")
+        out = engine.read_sample(0)
+        assert bytes(out.tobytes()).decode() == "hello world"
+
+    def test_json_tensor(self):
+        engine, _ = make_engine(htype="json")
+        engine.append({"a": [1, 2], "b": "x"})
+        from repro.util.json_util import json_loads
+
+        assert json_loads(bytes(engine.read_sample(0).tobytes())) == {
+            "a": [1, 2], "b": "x"
+        }

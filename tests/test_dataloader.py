@@ -1,0 +1,280 @@
+"""Streaming dataloader: order planning, prefetch, collate, budgets,
+framework handover, statistics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dataloader import (
+    DeepLakeLoader,
+    buffer_shuffle_iter,
+    chunk_aware_shuffle,
+    chunk_locality,
+    compute_inflight_limit,
+    default_collate,
+    naive_shuffle,
+    pad_collate,
+    prefetched,
+    shard_for_rank,
+    shuffle_quality,
+    strict_collate,
+)
+from repro.exceptions import CollateError, DataLoaderError, MemoryBudgetError
+from repro.integrations import DeviceTensor, to_backend
+from repro.storage import MemoryProvider
+
+
+class TestOrderPlanning:
+    def test_naive_shuffle_is_permutation(self):
+        rows = list(range(100))
+        out = naive_shuffle(rows, seed=0)
+        assert sorted(out) == rows
+        assert out != rows
+
+    def test_chunk_shuffle_is_permutation(self):
+        rows = list(range(50))
+        ranges = [(f"c{i}", i * 10, (i + 1) * 10) for i in range(5)]
+        out = chunk_aware_shuffle(rows, ranges, seed=0, window_chunks=2)
+        assert sorted(out) == rows
+
+    def test_chunk_shuffle_better_locality_than_naive(self):
+        rows = list(range(200))
+        ranges = [(f"c{i}", i * 20, (i + 1) * 20) for i in range(10)]
+        cs = chunk_aware_shuffle(rows, ranges, seed=0, window_chunks=3)
+        nv = naive_shuffle(rows, seed=0)
+        assert chunk_locality(cs, ranges) > 1.5 * chunk_locality(nv, ranges)
+        assert shuffle_quality(cs) > 0.4
+
+    def test_chunk_shuffle_handles_subset_rows(self):
+        rows = [3, 4, 5, 22, 23, 47]
+        ranges = [(f"c{i}", i * 10, (i + 1) * 10) for i in range(5)]
+        out = chunk_aware_shuffle(rows, ranges, seed=1)
+        assert sorted(out) == rows
+
+    def test_buffer_shuffle_yields_everything(self):
+        out = list(buffer_shuffle_iter(iter(range(40)), 8, seed=0))
+        assert sorted(out) == list(range(40))
+
+    def test_shard_disjoint_cover(self):
+        rows = list(range(103))
+        shards = [shard_for_rank(rows, r, 4) for r in range(4)]
+        assert all(len(s) == 25 for s in shards)  # drop tail for equal steps
+        flat = [i for s in shards for i in s]
+        assert len(set(flat)) == len(flat)
+
+    def test_shard_bad_rank(self):
+        with pytest.raises(ValueError):
+            shard_for_rank([1, 2], 5, 4)
+
+    def test_shuffle_quality_extremes(self):
+        assert shuffle_quality(list(range(100))) == 0.0
+        assert shuffle_quality(list(reversed(range(100)))) > 1.0
+
+
+class TestPrefetch:
+    def test_preserves_order(self):
+        out = list(prefetched(list(range(50)), lambda i: i * 2,
+                              num_workers=4, inflight_limit=8))
+        assert out == [i * 2 for i in range(50)]
+
+    def test_worker_errors_propagate(self):
+        def fetch(i):
+            if i == 5:
+                raise ValueError("boom")
+            return i
+
+        with pytest.raises(ValueError):
+            list(prefetched(list(range(10)), fetch, num_workers=2,
+                            inflight_limit=4))
+
+    def test_zero_workers_synchronous(self):
+        assert list(prefetched([1, 2], lambda i: i, 0, 4)) == [1, 2]
+
+    def test_inflight_limit_budget(self):
+        assert compute_inflight_limit(4, 2, 100, 10_000) == 8
+        assert compute_inflight_limit(4, 2, 5000, 10_000) == 2
+        with pytest.raises(MemoryBudgetError):
+            compute_inflight_limit(4, 2, 50_000, 10_000)
+
+    def test_priority_pool_runs_high_first(self):
+        import threading
+        from repro.dataloader import PriorityWorkerPool
+
+        pool = PriorityWorkerPool(1)
+        gate = threading.Event()
+        order = []
+
+        def task(tag):
+            gate.wait(1)
+            order.append(tag)
+            return tag
+
+        blocker = pool.submit(99, lambda: gate.wait(1))
+        futures = [pool.submit(p, task, p) for p in (1.0, 3.0, 2.0)]
+        gate.set()
+        for f in futures:
+            f.result(timeout=5)
+        blocker.result(timeout=5)
+        pool.shutdown()
+        assert order == [3.0, 2.0, 1.0]
+
+
+class TestCollate:
+    def test_default_stacks_uniform(self):
+        batch = default_collate([
+            {"x": np.zeros((2, 2)), "y": 1},
+            {"x": np.ones((2, 2)), "y": 2},
+        ])
+        assert batch["x"].shape == (2, 2, 2)
+        assert batch["y"].tolist() == [1, 2]
+
+    def test_default_lists_ragged(self):
+        batch = default_collate([
+            {"x": np.zeros((2,))}, {"x": np.zeros((3,))},
+        ])
+        assert isinstance(batch["x"], list)
+
+    def test_strict_rejects_ragged(self):
+        with pytest.raises(CollateError):
+            strict_collate([{"x": np.zeros(2)}, {"x": np.zeros(3)}])
+
+    def test_pad_collate(self):
+        batch = pad_collate([
+            {"x": np.ones((2, 2))}, {"x": np.ones((3, 1))},
+        ])
+        assert batch["x"].shape == (2, 3, 2)
+        assert batch["x"][0, 2, 0] == 0.0  # padded region
+
+    def test_empty_batch(self):
+        assert default_collate([]) == {}
+
+
+class TestFrameworks:
+    def test_backend_wrapping(self):
+        batch = {"x": np.zeros((2, 3)), "s": ["a", "b"]}
+        out = to_backend(batch, "torch")
+        assert isinstance(out["x"], DeviceTensor)
+        assert out["x"].backend == "torch"
+        assert out["s"] == ["a", "b"]
+
+    def test_numpy_passthrough(self):
+        batch = {"x": np.zeros(2)}
+        assert to_backend(batch, "numpy") is batch
+
+    def test_zero_copy(self):
+        arr = np.zeros((4, 4))
+        t = DeviceTensor(arr, "jax")
+        assert t.numpy() is arr
+
+    def test_device_move(self):
+        t = DeviceTensor(np.zeros(2), "torch").to("cuda:0")
+        assert t.device == "cuda:0"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            to_backend({"x": np.zeros(1)}, "mxnet")
+
+
+@pytest.fixture
+def loader_ds(rng):
+    ds = repro.empty(MemoryProvider(), overwrite=True)
+    ds.create_tensor("images", htype="image", sample_compression="jpeg",
+                     max_chunk_size=128 * 1024)
+    ds.create_tensor("labels", htype="class_label")
+    for i in range(60):
+        ds.append({
+            "images": rng.integers(0, 255, (32, 32, 3), dtype=np.uint8),
+            "labels": np.int32(i % 10),
+        })
+    ds.flush()
+    return ds
+
+
+class TestLoader:
+    def test_batches_cover_everything(self, loader_ds):
+        loader = DeepLakeLoader(loader_ds, batch_size=8, shuffle=True,
+                                num_workers=2, seed=0)
+        seen = []
+        for batch in loader:
+            assert batch["images"].shape[1:] == (32, 32, 3)
+            seen.extend(batch["labels"].tolist())
+        assert len(seen) == 60
+        assert loader.stats.samples == 60
+
+    def test_len_and_drop_last(self, loader_ds):
+        assert len(DeepLakeLoader(loader_ds, batch_size=16)) == 4
+        assert len(DeepLakeLoader(loader_ds, batch_size=16,
+                                  drop_last=True)) == 3
+        batches = list(DeepLakeLoader(loader_ds, batch_size=16,
+                                      drop_last=True))
+        assert len(batches) == 3
+
+    def test_deterministic_given_seed(self, loader_ds):
+        def labels_of(loader):
+            out = []
+            for batch in loader:
+                out.extend(batch["labels"].tolist())
+            return out
+
+        a = labels_of(DeepLakeLoader(loader_ds, batch_size=8, shuffle=True,
+                                     num_workers=3, seed=42))
+        b = labels_of(DeepLakeLoader(loader_ds, batch_size=8, shuffle=True,
+                                     num_workers=1, seed=42))
+        assert a == b
+
+    def test_tensor_subset(self, loader_ds):
+        loader = DeepLakeLoader(loader_ds, batch_size=4, tensors=["labels"])
+        batch = next(iter(loader))
+        assert set(batch) == {"labels"}
+
+    def test_transform_applied(self, loader_ds):
+        loader = DeepLakeLoader(
+            loader_ds, batch_size=4,
+            transform=lambda s: {"label2": s["labels"] * 2},
+        )
+        batch = next(iter(loader))
+        assert set(batch) == {"label2"}
+
+    def test_backend_handover(self, loader_ds):
+        loader = DeepLakeLoader(loader_ds, batch_size=4, backend="torch")
+        batch = next(iter(loader))
+        assert isinstance(batch["images"], DeviceTensor)
+
+    def test_distributed_shards(self, loader_ds):
+        all_labels = []
+        for rank in range(3):
+            loader = DeepLakeLoader(loader_ds, batch_size=5, shuffle=True,
+                                    seed=7, distributed=(rank, 3))
+            for batch in loader:
+                all_labels.extend(batch["labels"].tolist())
+        assert len(all_labels) == 60
+
+    def test_memory_budget_enforced(self, loader_ds):
+        with pytest.raises(MemoryBudgetError):
+            list(DeepLakeLoader(loader_ds, batch_size=4, num_workers=2,
+                                memory_budget_bytes=16))
+
+    def test_loader_on_view(self, loader_ds):
+        view = loader_ds[10:30]
+        loader = DeepLakeLoader(view, batch_size=10)
+        labels = []
+        for batch in loader:
+            labels.extend(batch["labels"].tolist())
+        assert labels == [i % 10 for i in range(10, 30)]
+
+    def test_empty_tensor_list_rejected(self, loader_ds):
+        with pytest.raises(DataLoaderError):
+            DeepLakeLoader(loader_ds, tensors=[])
+
+    def test_bad_batch_size(self, loader_ds):
+        with pytest.raises(DataLoaderError):
+            DeepLakeLoader(loader_ds, batch_size=0)
+
+    def test_stats_throughput(self, loader_ds):
+        loader = DeepLakeLoader(loader_ds, batch_size=8, num_workers=2)
+        for _ in loader:
+            pass
+        stats = loader.stats.as_dict()
+        assert stats["samples"] == 60
+        assert stats["samples_per_s"] > 0
+        assert 0 <= stats["stall_fraction"] <= 1

@@ -1,0 +1,307 @@
+"""Dataset-level behaviour: schema, groups, htypes, views, hidden tensors,
+sparse assignment, copy/materialization, persistence."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import (
+    FormatError,
+    GroupError,
+    HtypeError,
+    ReadOnlyDatasetError,
+    SampleShapeError,
+    TensorAlreadyExistsError,
+    TensorDoesNotExistError,
+)
+from repro.storage import LocalProvider, MemoryProvider
+
+
+class TestSchema:
+    def test_create_and_list_tensors(self, mem_ds):
+        mem_ds.create_tensor("a", dtype="int32")
+        mem_ds.create_tensor("b", htype="image", sample_compression="png")
+        assert sorted(mem_ds.tensors) == ["a", "b"]
+
+    def test_duplicate_tensor_rejected(self, mem_ds):
+        mem_ds.create_tensor("a")
+        with pytest.raises(TensorAlreadyExistsError):
+            mem_ds.create_tensor("a")
+
+    def test_reserved_names_rejected(self, mem_ds):
+        for bad in ("versions", "queries", "locks", ""):
+            with pytest.raises(FormatError):
+                mem_ds.create_tensor(bad)
+
+    def test_unknown_htype(self, mem_ds):
+        with pytest.raises(HtypeError):
+            mem_ds.create_tensor("x", htype="hologram")
+
+    def test_both_compressions_rejected(self, mem_ds):
+        with pytest.raises(FormatError):
+            mem_ds.create_tensor("x", sample_compression="png",
+                                 chunk_compression="lz4")
+
+    def test_htype_defaults(self, mem_ds):
+        img = mem_ds.create_tensor("img", htype="image")
+        lbl = mem_ds.create_tensor("lbl", htype="class_label")
+        assert img.sample_compression == "jpeg"
+        assert lbl.chunk_compression == "lz4"
+
+    def test_htype_meta_keys(self, mem_ds):
+        t = mem_ds.create_tensor("lbl", htype="class_label",
+                                 class_names=["a", "b"])
+        assert t.info["class_names"] == ["a", "b"]
+        with pytest.raises(HtypeError):
+            mem_ds.create_tensor("x", htype="image", class_names=["a"])
+
+    def test_htype_sample_validation(self, mem_ds):
+        mem_ds.create_tensor("img", htype="image", sample_compression="png")
+        with pytest.raises(SampleShapeError):
+            mem_ds.img.append(np.zeros((4, 4, 3, 1), dtype=np.uint8))
+
+    def test_bbox_last_dim_checked(self, mem_ds):
+        mem_ds.create_tensor("boxes", htype="bbox")
+        with pytest.raises(SampleShapeError):
+            mem_ds.boxes.append(np.zeros((2, 3), dtype=np.float32))
+
+    def test_delete_tensor_removes_companions(self, image_ds):
+        assert "_images_shape" in image_ds._meta.tensors
+        image_ds.delete_tensor("images")
+        assert "images" not in image_ds._meta.tensors
+        assert "_images_shape" not in image_ds._meta.tensors
+        assert not [k for k in image_ds.storage if k.startswith("images/")]
+
+
+class TestGroups:
+    def test_nested_creation_and_access(self, mem_ds, rng):
+        mem_ds.create_tensor("cams/front/rgb", htype="image",
+                             sample_compression="png")
+        assert "cams" in mem_ds.groups
+        assert mem_ds["cams"].groups == ["front"]
+        img = rng.integers(0, 255, (4, 4, 3), dtype=np.uint8)
+        mem_ds["cams"]["front"]["rgb"].append(img)
+        assert np.array_equal(mem_ds.cams.front.rgb[0].numpy(), img)
+
+    def test_group_tensor_name_collision(self, mem_ds):
+        mem_ds.create_tensor("a/b")
+        with pytest.raises(GroupError):
+            mem_ds.create_tensor("a")
+        mem_ds.create_group("g")
+        with pytest.raises(GroupError):
+            mem_ds.create_tensor("g")
+
+    def test_group_scoped_append(self, mem_ds, rng):
+        g = mem_ds.create_group("sensors")
+        mem_ds.create_tensor("sensors/lidar", dtype="float32")
+        g.append({"lidar": np.zeros(4, dtype=np.float32)})
+        assert len(mem_ds["sensors/lidar"]) == 1
+
+    def test_unknown_tensor(self, mem_ds):
+        with pytest.raises(TensorDoesNotExistError):
+            mem_ds["ghost"]
+        with pytest.raises(AttributeError):
+            mem_ds.ghost
+
+
+class TestAppendAndRead:
+    def test_row_append_requires_all_tensors(self, image_ds, rng):
+        with pytest.raises(FormatError):
+            image_ds.append({"images": rng.integers(0, 255, (8, 8, 3),
+                                                    dtype=np.uint8)})
+
+    def test_append_empty_pads_missing(self, image_ds, rng):
+        image_ds.append(
+            {"images": rng.integers(0, 255, (8, 8, 3), dtype=np.uint8)},
+            append_empty=True,
+        )
+        # labels is a rank-0 (scalar) tensor: padding is a 0 marked padded
+        engine = image_ds._engine("labels")
+        assert engine.pad_enc.is_padded(engine.num_samples - 1)
+        assert int(image_ds.labels[-1].numpy()[()]) == 0
+
+    def test_unknown_key_rejected(self, image_ds):
+        with pytest.raises(TensorDoesNotExistError):
+            image_ds.append({"imagez": np.zeros(1)})
+
+    def test_iteration(self, image_ds):
+        rows = list(image_ds)
+        assert len(rows) == 24
+        assert np.array_equal(
+            rows[3].labels.numpy(), image_ds.labels[3].numpy()
+        )
+
+    def test_numpy_stack_vs_list(self, image_ds):
+        # ragged images -> list
+        out = image_ds.images[:6].numpy(aslist=True)
+        assert isinstance(out, list)
+        # uniform labels -> stacked
+        labels = image_ds.labels[:6].numpy()
+        assert isinstance(labels, np.ndarray)
+
+    def test_tensor_setitem_syncs_shape_tensor(self, image_ds, rng):
+        new = rng.integers(0, 255, (50, 60, 3), dtype=np.uint8)
+        image_ds.images[2] = new
+        assert image_ds.images.shapes()[2] == (50, 60, 3)
+        shape_hidden = image_ds._engine("_images_shape").read_sample(2)
+        assert list(shape_hidden) == [50, 60, 3]
+
+    def test_sample_ids_stable_across_update(self, image_ds, rng):
+        ids_before = image_ds.images.sample_ids()
+        image_ds.images[2] = rng.integers(0, 255, (9, 9, 3), dtype=np.uint8)
+        assert image_ds.images.sample_ids() == ids_before
+
+
+class TestViews:
+    def test_slice_view(self, image_ds):
+        view = image_ds[5:10]
+        assert len(view) == 5
+        assert np.array_equal(
+            view.labels[0].numpy(), image_ds.labels[5].numpy()
+        )
+
+    def test_view_composition(self, image_ds):
+        view = image_ds[4:20][::2][1]
+        assert np.array_equal(
+            view.labels.numpy(), image_ds.labels[6].numpy()
+        )
+
+    def test_list_view(self, image_ds):
+        view = image_ds[[2, 7, 9]]
+        assert len(view) == 3
+        assert np.array_equal(
+            view.images[1].numpy(), image_ds.images[7].numpy()
+        )
+
+    def test_view_blocks_append(self, image_ds, rng):
+        view = image_ds[0:5]
+        with pytest.raises(FormatError):
+            view.images.append(
+                rng.integers(0, 255, (4, 4, 3), dtype=np.uint8)
+            )
+
+    def test_view_shares_engines(self, image_ds):
+        view = image_ds[0:5]
+        assert view._engines is image_ds._engines
+
+
+class TestSparse:
+    def test_strict_mode_blocks_out_of_bounds(self, image_ds, rng):
+        with pytest.raises(FormatError):
+            image_ds.labels[100] = np.int32(1)
+
+    def test_non_strict_pads(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True, strict=False)
+        ds.create_tensor("x", dtype="float32")
+        ds.x.append(np.ones(2, dtype=np.float32))
+        ds.x[4] = np.full(2, 9.0, dtype=np.float32)
+        assert len(ds.x) == 5
+        assert ds.x[2].numpy().size == 0
+        assert ds.x[4].numpy()[0] == 9.0
+        # hidden companions stay aligned
+        assert len(ds._engine("_x_id").enc._cum) >= 1
+        assert ds._engine("_x_id").num_samples == 5
+
+
+class TestDownsampled:
+    def test_downsampled_maintained(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("img", htype="image", sample_compression="png",
+                         downsampling=2)
+        img = rng.integers(0, 255, (32, 32, 3), dtype=np.uint8)
+        ds.img.append(img)
+        down = ds._engine("_img_downsampled_2").read_sample(0)
+        assert down.shape == (16, 16, 3)
+
+    def test_downsampled_updates(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("img", htype="image", sample_compression="png",
+                         downsampling=4)
+        ds.img.append(rng.integers(0, 255, (32, 32, 3), dtype=np.uint8))
+        new = rng.integers(0, 255, (64, 64, 3), dtype=np.uint8)
+        ds.img[0] = new
+        down = ds._engine("_img_downsampled_4").read_sample(0)
+        assert down.shape == (16, 16, 3)
+
+
+class TestPersistence:
+    def test_reopen_from_local_disk(self, tmp_path, rng):
+        path = str(tmp_path / "ds")
+        ds = repro.empty(path)
+        ds.create_tensor("x", dtype="int64")
+        ds.x.extend([np.array([i], dtype=np.int64) for i in range(7)])
+        ds.flush()
+        out = repro.load(path)
+        assert len(out.x) == 7
+        assert out.x[6].numpy()[0] == 6
+
+    def test_exists_and_delete(self, tmp_path):
+        path = str(tmp_path / "ds2")
+        assert not repro.exists(path)
+        repro.empty(path).flush()
+        assert repro.exists(path)
+        repro.delete(path)
+        assert not repro.exists(path)
+
+    def test_empty_refuses_overwrite(self, tmp_path):
+        path = str(tmp_path / "ds3")
+        repro.empty(path).flush()
+        with pytest.raises(repro.DeepLakeError):
+            repro.empty(path)
+        repro.empty(path, overwrite=True)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(repro.DeepLakeError):
+            repro.load(str(tmp_path / "nope"))
+
+    def test_read_only_dataset(self, tmp_path, rng):
+        path = str(tmp_path / "ds4")
+        ds = repro.empty(path)
+        ds.create_tensor("x", dtype="int64")
+        ds.x.append(np.array([1], dtype=np.int64))
+        ds.flush()
+        ro = repro.load(path, read_only=True)
+        with pytest.raises(ReadOnlyDatasetError):
+            ro.create_tensor("y")
+        with pytest.raises(ReadOnlyDatasetError):
+            ro.x.append(np.array([2], dtype=np.int64))
+
+
+class TestCopyMaterialize:
+    def test_copy_view_with_lineage(self, image_ds):
+        view = image_ds[[1, 3, 5]]
+        view.query_string = "SELECT fake"
+        out = repro.copy(view, MemoryProvider())
+        assert len(out) == 3
+        assert out._meta.info["source_query"] == "SELECT fake"
+        assert np.array_equal(
+            out.images[2].numpy(), image_ds.images[5].numpy()
+        )
+
+    def test_copy_preserves_sample_ids(self, image_ds):
+        out = repro.copy(image_ds[2:6], MemoryProvider())
+        assert out.images.sample_ids() == image_ds.images.sample_ids()[2:6]
+
+    def test_copy_resolves_links(self, rng):
+        from repro.compression import compress_array
+        from repro.storage import storage_from_url
+
+        bucket = storage_from_url("s3-sim://raw-copy", cache_bytes=0)
+        img = rng.integers(0, 255, (10, 10, 3), dtype=np.uint8)
+        bucket["a.psim"] = compress_array(img, "png")
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("pics", htype="link[image]")
+        ds.pics.append(repro.link("s3-sim://raw-copy/a.psim"))
+        out = repro.copy(ds, MemoryProvider(), unlink=True)
+        assert not out._engine("pics").meta.is_link
+        assert out.pics[0].numpy().shape == (10, 10, 3)
+
+    def test_save_and_load_view(self, image_ds):
+        view = image_ds[[4, 2]]
+        view.query_string = "SELECT something"
+        vid = view.save_view(message="picks")
+        loaded = image_ds.load_view(vid)
+        assert np.array_equal(
+            loaded.images[0].numpy(), image_ds.images[4].numpy()
+        )
+        assert loaded.query_string == "SELECT something"

@@ -1,0 +1,139 @@
+"""Index composition algebra and Sample/LinkedSample wrappers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.index import Index
+from repro.core.sample import LinkedSample, Sample, link, read, sniff_compression
+from repro.compression import compress_array
+from repro.exceptions import SampleCompressionError
+
+
+class TestIndex:
+    def test_default_selects_all(self):
+        idx = Index()
+        assert idx.row_indices(5) == [0, 1, 2, 3, 4]
+        assert not idx.is_single_sample
+
+    def test_int_composition(self):
+        idx = Index().compose(3)
+        assert idx.is_single_sample
+        assert idx.row_indices(10) == [3]
+
+    def test_negative_int_resolves_at_length(self):
+        idx = Index().compose(-1)
+        assert idx.row_indices(7) == [6]
+
+    def test_slice_then_int(self):
+        idx = Index().compose(slice(2, 8)).compose(3)
+        assert idx.row_indices(100) == [5]
+
+    def test_slice_then_slice(self):
+        idx = Index().compose(slice(10, 50, 2)).compose(slice(0, 5))
+        assert idx.row_indices(100) == [10, 12, 14, 16, 18]
+
+    def test_list_then_int(self):
+        idx = Index().compose([4, 9, 1]).compose(2)
+        assert idx.row_indices(20) == [1]
+
+    def test_list_then_slice(self):
+        idx = Index().compose([5, 6, 7, 8]).compose(slice(1, 3))
+        assert idx.row_indices(20) == [6, 7]
+
+    def test_slice_then_list(self):
+        idx = Index().compose(slice(10, None)).compose([0, 2])
+        assert idx.row_indices(20) == [10, 12]
+
+    def test_tuple_applies_sub_entries(self):
+        idx = Index().compose((3, slice(0, 5), 2))
+        assert idx.row_indices(10) == [3]
+        arr = np.arange(100).reshape(10, 10)
+        assert np.array_equal(idx.apply_sub(arr), arr[0:5, 2])
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            Index().compose([11]).row_indices(5)
+
+    def test_subscripting_scalar_goes_into_sample(self):
+        # numpy-style: t[2][0] sub-indexes sample 2, like t[2, 0]
+        idx = Index().compose(2).compose(0)
+        assert idx.row_indices(5) == [2]
+        assert idx.sub_entries == (0,)
+
+    def test_json_roundtrip(self):
+        idx = Index().compose([3, 1, 4]).compose((slice(None), 5))
+        out = Index.from_json(idx.to_json())
+        assert out.row_indices(10) == idx.row_indices(10)
+        assert out.sub_entries == idx.sub_entries
+
+    def test_num_rows(self):
+        assert Index().compose(slice(0, 4)).num_rows(10) == 4
+
+
+class TestSample:
+    def test_array_sample(self, rng):
+        arr = rng.integers(0, 255, (5, 5, 3), dtype=np.uint8)
+        s = Sample(array=arr)
+        assert s.shape == (5, 5, 3)
+        assert np.array_equal(s.array, arr)
+
+    def test_buffer_sample_lazy_decode(self, rng):
+        arr = rng.integers(0, 255, (6, 6, 3), dtype=np.uint8)
+        blob = compress_array(arr, "png")
+        s = Sample(buffer=blob, compression="png")
+        assert s.shape == (6, 6, 3)  # from header, no decode
+        assert np.array_equal(s.array, arr)
+
+    def test_buffer_passthrough_when_codec_matches(self, rng):
+        arr = rng.integers(0, 255, (6, 6, 3), dtype=np.uint8)
+        blob = compress_array(arr, "jpeg")
+        s = Sample(buffer=blob, compression="jpeg")
+        assert s.compressed_bytes("jpeg") is not None
+        assert s.compressed_bytes("jpeg") == blob  # no re-encode
+
+    def test_buffer_transcode_when_mismatched(self, rng):
+        arr = rng.integers(0, 255, (6, 6, 3), dtype=np.uint8)
+        blob = compress_array(arr, "png")
+        s = Sample(buffer=blob, compression="png")
+        out = s.compressed_bytes("none")
+        assert out != blob
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            Sample()
+        with pytest.raises(ValueError):
+            Sample(array=np.zeros(1), buffer=b"x", compression="none")
+
+    def test_magic_sniffing(self, rng):
+        arr = rng.integers(0, 255, (4, 4, 3), dtype=np.uint8)
+        assert sniff_compression(compress_array(arr, "jpeg")) == "jpeg"
+        assert sniff_compression(compress_array(arr, "png")) == "png"
+        assert sniff_compression(b"garbage", "x.jpg") == "jpeg"
+        assert sniff_compression(b"garbage", "x.unknown") is None
+
+    def test_unsniffable_buffer_rejected(self):
+        with pytest.raises(SampleCompressionError):
+            Sample(buffer=b"not a codec payload")
+
+    def test_read_from_file(self, rng, tmp_path):
+        arr = rng.integers(0, 255, (8, 8, 3), dtype=np.uint8)
+        path = str(tmp_path / "img.jsim")
+        with open(path, "wb") as f:
+            f.write(compress_array(arr, "jpeg"))
+        s = read(path)
+        assert s.compression == "jpeg"
+        assert s.shape == (8, 8, 3)
+
+
+class TestLinkedSample:
+    def test_serialise_roundtrip(self):
+        ls = link("s3-sim://bkt/path/img.jsim", creds_key="prod")
+        out = LinkedSample.from_bytes(ls.to_bytes())
+        assert out.url == ls.url
+        assert out.creds_key == "prod"
+
+    def test_no_creds(self):
+        out = LinkedSample.from_bytes(link("file:///x").to_bytes())
+        assert out.creds_key is None

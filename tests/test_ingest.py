@@ -1,0 +1,182 @@
+"""Ingestion connectors and the Airbyte-style protocol."""
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import IngestionError
+from repro.ingest import (
+    AirbyteLikeSync,
+    CSVSource,
+    JSONLSource,
+    ParquetLikeSource,
+    SQLiteSource,
+    ingest_csv,
+    ingest_imagefolder,
+    ingest_jsonl,
+    ingest_source,
+    ingest_sqlite,
+    read_messages,
+)
+from repro.baselines.parquet_like import write_table
+from repro.storage import MemoryProvider
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "name,score,count\nalpha,0.5,3\nbeta,1.5,7\ngamma,2.5,9\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def jsonl_file(tmp_path):
+    path = tmp_path / "data.jsonl"
+    path.write_text(
+        '{"id": 1, "tags": ["a", "b"], "note": "x"}\n'
+        '{"id": 2, "tags": [], "note": "y"}\n'
+    )
+    return str(path)
+
+
+@pytest.fixture
+def sqlite_file(tmp_path):
+    path = str(tmp_path / "meta.db")
+    conn = sqlite3.connect(path)
+    conn.execute("CREATE TABLE t (id INTEGER, label TEXT, w REAL)")
+    conn.executemany(
+        "INSERT INTO t VALUES (?,?,?)",
+        [(i, f"label{i}", i * 0.5) for i in range(12)],
+    )
+    conn.commit()
+    conn.close()
+    return path
+
+
+def fresh():
+    return repro.empty(MemoryProvider(), overwrite=True)
+
+
+class TestSources:
+    def test_csv_schema_and_coercion(self, csv_file):
+        src = CSVSource(csv_file)
+        assert src.discover() == {"name": "str", "score": "float",
+                                  "count": "int"}
+        rows = list(src.read_records())
+        assert rows[1] == {"name": "beta", "score": 1.5, "count": 7}
+
+    def test_csv_missing_file(self):
+        with pytest.raises(IngestionError):
+            CSVSource("/nope/missing.csv")
+
+    def test_jsonl_schema(self, jsonl_file):
+        src = JSONLSource(jsonl_file)
+        assert src.discover() == {"id": "int", "tags": "json", "note": "str"}
+
+    def test_sqlite_table_and_query(self, sqlite_file):
+        table_src = SQLiteSource(sqlite_file, table="t")
+        assert len(list(table_src.read_records())) == 12
+        q = SQLiteSource(sqlite_file, query="SELECT id FROM t WHERE id < 3")
+        assert [r["id"] for r in q.read_records()] == [0, 1, 2]
+
+    def test_sqlite_requires_one_of(self, sqlite_file):
+        with pytest.raises(IngestionError):
+            SQLiteSource(sqlite_file)
+        with pytest.raises(IngestionError):
+            SQLiteSource(sqlite_file, table="t", query="SELECT 1")
+
+    def test_parquet_source(self):
+        storage = MemoryProvider()
+        write_table(storage, "t.pars",
+                    {"url": [f"u{i}" for i in range(5)],
+                     "w": [float(i) for i in range(5)]},
+                    row_group_size=2)
+        src = ParquetLikeSource(storage, "t.pars")
+        assert src.discover() == {"url": "str", "w": "float"}
+        assert [r["url"] for r in src.read_records()] == [
+            "u0", "u1", "u2", "u3", "u4"
+        ]
+
+
+class TestDestination:
+    def test_ingest_csv_end_to_end(self, csv_file):
+        ds = fresh()
+        n = ingest_csv(csv_file, ds)
+        assert n == 3
+        assert sorted(ds.tensors) == ["count", "name", "score"]
+        assert ds["name"][2].data() == "gamma"
+        assert float(ds["score"][1].numpy()[()]) == 1.5
+
+    def test_ingest_jsonl_json_column(self, jsonl_file):
+        ds = fresh()
+        ingest_jsonl(jsonl_file, ds)
+        assert ds["tags"][0].data() == ["a", "b"]
+
+    def test_ingest_sqlite(self, sqlite_file):
+        ds = fresh()
+        n = ingest_sqlite(sqlite_file, ds, table="t")
+        assert n == 12
+        assert ds["label"][4].data() == "label4"
+
+    def test_ingest_limit(self, sqlite_file):
+        ds = fresh()
+        assert ingest_sqlite(sqlite_file, ds, table="t", limit=5) == 5
+        assert len(ds) == 5
+
+    def test_empty_source_rejected(self, tmp_path):
+        empty_csv = tmp_path / "empty.csv"
+        empty_csv.write_text("a,b\n")
+        with pytest.raises(IngestionError):
+            ingest_source(CSVSource(str(empty_csv)), fresh())
+
+    def test_ingest_imagefolder_no_reencode(self, tmp_path, rng):
+        from repro.workloads.builders import write_imagefolder
+
+        root = str(tmp_path / "imgs")
+        write_imagefolder(root, 10, seed=0, base=32, ragged=False)
+        ds = fresh()
+        n = ingest_imagefolder(root, ds)
+        assert n == 10
+        assert ds.images[0].numpy().shape == (32, 32, 3)
+        assert len(ds.labels) == 10
+
+
+class TestAirbyteProtocol:
+    def test_message_stream_shape(self, sqlite_file):
+        msgs = list(read_messages(SQLiteSource(sqlite_file, table="t"),
+                                  checkpoint_every=5))
+        kinds = [m.type for m in msgs]
+        assert kinds[0] == "CATALOG"
+        assert kinds.count("RECORD") == 12
+        assert kinds[-1] == "STATE"
+        assert msgs[-1].payload["cursor"] == 12
+
+    def test_sync_writes_all(self, sqlite_file):
+        ds = fresh()
+        result = AirbyteLikeSync(SQLiteSource(sqlite_file, table="t"), ds,
+                                 batch_size=5).sync()
+        assert result == {"records_written": 12, "state": 12}
+        assert len(ds) == 12
+
+    def test_resume_from_state(self, sqlite_file):
+        ds = fresh()
+        sync = AirbyteLikeSync(SQLiteSource(sqlite_file, table="t"), ds,
+                               batch_size=4)
+        sync.sync()
+        # resume: nothing new to write
+        result = AirbyteLikeSync(
+            SQLiteSource(sqlite_file, table="t"), ds, batch_size=4
+        ).sync(state_cursor=12)
+        assert result["records_written"] == 0
+        assert len(ds) == 12
+
+    def test_partial_resume(self, sqlite_file):
+        ds = fresh()
+        AirbyteLikeSync(SQLiteSource(sqlite_file, table="t"), ds,
+                        batch_size=4).sync(state_cursor=8)
+        assert len(ds) == 4  # rows 8..11 only

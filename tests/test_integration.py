@@ -1,0 +1,230 @@
+"""Cross-module integration: full ML-loop lifecycles across storage
+providers, query -> view -> materialize -> stream, htype/meta matrix,
+workload generators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.sim import SimClock
+from repro.storage import (
+    LocalProvider,
+    LRUCache,
+    MemoryProvider,
+    make_object_store,
+)
+from repro.workloads import (
+    detection_like,
+    ffhq_like,
+    imagenet_like,
+    laion_like,
+    video_like,
+)
+
+
+class TestWorkloads:
+    def test_ffhq_shapes(self):
+        imgs = list(ffhq_like(2, seed=0, resolution=64))
+        assert all(im.shape == (64, 64, 3) for im in imgs)
+        assert all(im.dtype == np.uint8 for im in imgs)
+
+    def test_imagenet_ragged_and_seeded(self):
+        a = list(imagenet_like(5, seed=3, base=100))
+        b = list(imagenet_like(5, seed=3, base=100))
+        assert all(np.array_equal(x[0], y[0]) for x, y in zip(a, b))
+        shapes = {im.shape for im, _l in a}
+        assert len(shapes) > 1  # ragged
+
+    def test_laion_fields(self):
+        rows = list(laion_like(3, seed=0, resolution=32))
+        assert all({"image", "caption", "url"} <= set(r) for r in rows)
+        assert rows[0]["url"].startswith("https://")
+
+    def test_detection_boxes_in_bounds(self):
+        for row in detection_like(5, seed=0, resolution=100):
+            x, y, w, h = row["gt_boxes"][0]
+            assert 0 <= x and x + w <= 100
+            assert 0 <= y and y + h <= 100
+
+    def test_video_clip_shape(self):
+        clip = next(video_like(1, seed=0, frames=6, resolution=32))
+        assert clip.shape == (6, 32, 32, 3)
+
+
+@pytest.mark.parametrize(
+    "make_storage",
+    [
+        lambda tmp: MemoryProvider(),
+        lambda tmp: LocalProvider(str(tmp / "ds")),
+        lambda tmp: make_object_store("s3", clock=SimClock()),
+        lambda tmp: LRUCache(
+            MemoryProvider(), make_object_store("minio", clock=SimClock()),
+            64 * 1024 * 1024,
+        ),
+    ],
+    ids=["memory", "local", "s3-sim", "cached-minio"],
+)
+class TestLifecycleAcrossProviders:
+    def test_full_lifecycle(self, make_storage, tmp_path, rng):
+        """create -> ingest -> commit -> branch -> edit -> merge -> query
+        -> stream, all on one provider."""
+        storage = make_storage(tmp_path)
+        ds = repro.empty(storage, overwrite=True)
+        ds.create_tensor("images", htype="image", sample_compression="jpeg")
+        ds.create_tensor("labels", htype="class_label",
+                         class_names=["a", "b"])
+        for i in range(16):
+            ds.append({
+                "images": rng.integers(0, 255, (24, 24, 3), dtype=np.uint8),
+                "labels": np.int32(i % 2),
+            })
+        base = ds.commit("ingest")
+
+        ds.checkout("fix", create=True)
+        ds.labels[0] = np.int32(1)
+        ds.commit("relabel")
+        ds.checkout("main")
+        ds.merge("fix")
+        assert int(ds.labels[0].numpy()[()]) == 1
+
+        view = ds.query("SELECT * WHERE labels == 'b'")
+        assert len(view) == 9  # 8 original + relabeled row 0
+
+        loader = view.dataloader(batch_size=4, shuffle=True, seed=0,
+                                 num_workers=2)
+        count = sum(
+            len(np.atleast_1d(batch["labels"])) for batch in loader
+        )
+        assert count == 9
+
+        old = ds._at_commit(base)
+        assert int(old.labels[0].numpy()[()]) == 0
+
+
+class TestQueryToTraining:
+    def test_view_materialize_stream(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("images", htype="image", sample_compression="jpeg")
+        ds.create_tensor("labels", htype="class_label")
+        for i in range(30):
+            ds.append({
+                "images": rng.integers(0, 255, (16, 16, 3), dtype=np.uint8),
+                "labels": np.int32(i % 5),
+            })
+        view = ds.query("SELECT * WHERE labels < 2 ORDER BY labels")
+        assert len(view) == 12
+        mat = repro.copy(view, MemoryProvider())
+        assert len(mat) == 12
+        assert mat._meta.info["source_query"] == view.query_string
+        labels = []
+        for batch in mat.dataloader(batch_size=6):
+            labels.extend(np.atleast_1d(batch["labels"]).tolist())
+        assert labels == sorted(labels)
+
+    def test_transform_then_query_then_train(self, rng):
+        src = repro.empty(MemoryProvider(), overwrite=True)
+        src.create_tensor("x", dtype="float64")
+        for i in range(20):
+            src.x.append(np.array([float(i)], dtype=np.float64))
+
+        @repro.compute
+        def square(sample_in, sample_out):
+            sample_out.append({"y": sample_in["x"] ** 2})
+
+        dst = repro.empty(MemoryProvider(), overwrite=True)
+        dst.create_tensor("y", dtype="float64")
+        square().eval(src, dst, num_workers=2)
+        out = dst.query("SELECT * WHERE MEAN(y) > 100")
+        assert len(out) == 9  # 11^2 .. 19^2
+
+
+class TestHtypeMatrix:
+    """Every htype appends, persists, reloads, and round-trips."""
+
+    CASES = [
+        ("image", "jpeg", None,
+         lambda rng: rng.integers(0, 255, (16, 16, 3), dtype=np.uint8), False),
+        ("image", "png", None,
+         lambda rng: rng.integers(0, 255, (16, 16, 3), dtype=np.uint8), True),
+        ("video", "mp4", None,
+         lambda rng: rng.integers(0, 255, (4, 16, 16, 3), dtype=np.uint8),
+         False),
+        ("audio", "flac", None,
+         lambda rng: (rng.normal(0, 500, 800)).astype(np.int16), True),
+        ("bbox", None, "lz4",
+         lambda rng: rng.random((3, 4)).astype(np.float32), True),
+        ("class_label", None, "lz4", lambda rng: np.int32(3), True),
+        ("binary_mask", None, "lz4",
+         lambda rng: rng.random((8, 8)) > 0.5, True),
+        ("segment_mask", None, "lz4",
+         lambda rng: rng.integers(0, 5, (8, 8), dtype=np.int32), True),
+        ("embedding", None, None,
+         lambda rng: rng.random(32).astype(np.float32), True),
+        ("keypoints_coco", None, None,
+         lambda rng: rng.integers(0, 16, (17, 3), dtype=np.int32), True),
+        ("dicom", "png", None,
+         lambda rng: rng.integers(0, 4000, (16, 16), dtype=np.uint16), True),
+        ("instance_label", None, "lz4",
+         lambda rng: rng.integers(0, 9, (8, 8), dtype=np.int32), True),
+        ("point", None, None,
+         lambda rng: rng.random((5, 2)).astype(np.float64), True),
+    ]
+
+    @pytest.mark.parametrize(
+        "htype,sc,cc,factory,exact",
+        CASES,
+        ids=[c[0] + ("+" + (c[1] or c[2] or "raw")) for c in CASES],
+    )
+    def test_roundtrip(self, htype, sc, cc, factory, exact, rng):
+        storage = MemoryProvider()
+        ds = repro.empty(storage, overwrite=True)
+        kwargs = {}
+        if sc:
+            kwargs["sample_compression"] = sc
+        if cc:
+            kwargs["chunk_compression"] = cc
+        ds.create_tensor("t", htype=htype, **kwargs)
+        samples = [factory(rng) for _ in range(4)]
+        for s in samples:
+            ds.t.append(s)
+        ds.flush()
+        out = repro.load(storage)
+        for i, expected in enumerate(samples):
+            got = out.t[i].numpy()
+            if exact:
+                assert np.array_equal(got, np.asarray(expected))
+            else:
+                assert got.shape == np.asarray(expected).shape
+
+    def test_text_and_json_roundtrip(self):
+        storage = MemoryProvider()
+        ds = repro.empty(storage, overwrite=True)
+        ds.create_tensor("t", htype="text")
+        ds.create_tensor("j", htype="json")
+        ds.append({"t": "héllo wörld", "j": {"k": [1, {"n": None}]}})
+        ds.flush()
+        out = repro.load(storage)
+        assert out.t[0].data() == "héllo wörld"
+        assert out.j[0].data() == {"k": [1, {"n": None}]}
+
+
+class TestConcurrentReads:
+    def test_parallel_readers_consistent(self, image_ds):
+        import threading
+
+        errors = []
+
+        def reader():
+            try:
+                for i in range(len(image_ds)):
+                    img = image_ds.images[i].numpy()
+                    assert img.dtype == np.uint8
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

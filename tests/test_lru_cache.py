@@ -1,0 +1,143 @@
+"""LRU cache: hits/misses, eviction, write policies, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import LRUCache, MemoryProvider
+
+
+def make_cache(size=1000, write_through=True):
+    next_storage = MemoryProvider("next")
+    cache = LRUCache(MemoryProvider("cache"), next_storage, size,
+                     write_through=write_through)
+    return cache, next_storage
+
+
+class TestLRUBasics:
+    def test_read_fills_cache(self):
+        cache, nxt = make_cache()
+        nxt["k"] = b"v"
+        assert cache["k"] == b"v"
+        assert cache.misses == 1
+        assert cache["k"] == b"v"
+        assert cache.hits == 1
+
+    def test_write_through_lands_downstream(self):
+        cache, nxt = make_cache(write_through=True)
+        cache["k"] = b"v"
+        assert nxt["k"] == b"v"
+
+    def test_write_back_deferred_until_flush(self):
+        cache, nxt = make_cache(write_through=False)
+        cache["k"] = b"v"
+        assert "k" not in nxt
+        cache.flush()
+        assert nxt["k"] == b"v"
+
+    def test_eviction_strict_lru(self):
+        cache, nxt = make_cache(size=10)
+        cache["a"] = b"12345"
+        cache["b"] = b"12345"
+        _ = cache["a"]  # refresh a
+        cache["c"] = b"12345"  # evicts b
+        assert set(cache._order) == {"a", "c"}
+        assert nxt["b"] == b"12345"  # still downstream
+
+    def test_eviction_writes_back_dirty(self):
+        cache, nxt = make_cache(size=10, write_through=False)
+        cache["a"] = b"12345"
+        cache["b"] = b"12345"
+        cache["c"] = b"12345"  # evicts dirty a
+        assert nxt["a"] == b"12345"
+        assert "b" not in nxt  # still only cached
+
+    def test_oversized_blob_bypasses_cache(self):
+        cache, nxt = make_cache(size=10, write_through=False)
+        cache["big"] = b"x" * 100
+        assert nxt["big"] == b"x" * 100
+        assert "big" not in cache._order
+
+    def test_ranged_miss_does_not_pollute(self):
+        cache, nxt = make_cache()
+        nxt["k"] = bytes(range(100))
+        assert cache.get_bytes("k", 5, 10) == bytes(range(5, 10))
+        assert "k" not in cache._order
+
+    def test_ranged_hit_served_from_cache(self):
+        cache, nxt = make_cache()
+        nxt["k"] = bytes(range(100))
+        _ = cache["k"]
+        nxt.stats.reset()
+        assert cache.get_bytes("k", 5, 10) == bytes(range(5, 10))
+        assert nxt.stats.get_requests == 0
+
+    def test_delete_removes_both_tiers(self):
+        cache, nxt = make_cache()
+        cache["k"] = b"v"
+        del cache["k"]
+        assert "k" not in cache
+        assert "k" not in nxt
+
+    def test_delete_missing_raises(self):
+        cache, _ = make_cache()
+        with pytest.raises(KeyError):
+            del cache["ghost"]
+
+    def test_clear_cache_keeps_data_downstream(self):
+        cache, nxt = make_cache(write_through=False)
+        cache["k"] = b"v"
+        cache.clear_cache()
+        assert cache.cache_used == 0
+        assert nxt["k"] == b"v"
+        assert cache["k"] == b"v"
+
+    def test_keys_union(self):
+        cache, nxt = make_cache(write_through=False)
+        nxt["old"] = b"1"
+        cache["new"] = b"2"
+        assert cache._all_keys() == {"old", "new"}
+
+    def test_hit_ratio(self):
+        cache, nxt = make_cache()
+        nxt["k"] = b"v"
+        _ = cache["k"]
+        _ = cache["k"]
+        _ = cache["k"]
+        assert cache.hit_ratio == pytest.approx(2 / 3)
+
+
+class TestLRUInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["get", "set"]),
+                st.integers(0, 9),
+                st.integers(1, 40),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_size_bound_and_consistency(self, ops):
+        """Cache never exceeds budget; reads always equal ground truth."""
+        cache, nxt = make_cache(size=100, write_through=False)
+        truth = {}
+        for op, key_i, size in ops:
+            key = f"k{key_i}"
+            if op == "set":
+                value = bytes([key_i]) * size
+                cache[key] = value
+                truth[key] = value
+            else:
+                if key in truth:
+                    assert cache[key] == truth[key]
+                else:
+                    with pytest.raises(KeyError):
+                        cache[key]
+            assert cache.cache_used <= 100
+            assert cache.cache_used == sum(cache._order.values())
+        cache.flush()
+        for key, value in truth.items():
+            assert nxt[key] == value

@@ -1,0 +1,189 @@
+"""Simulation substrate: clock, network model, GPU, training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TransientNetworkError
+from repro.sim import (
+    AccessMode,
+    FlakyNetwork,
+    GPUModel,
+    NETWORK_PRESETS,
+    NetworkModel,
+    SimClock,
+    TrainingPipelineSim,
+    UtilizationTrace,
+)
+from repro.sim.training import WorkloadSpec
+
+
+class TestSimClock:
+    def test_charge_advances(self):
+        clk = SimClock()
+        clk.charge(1.5)
+        clk.charge(0.5)
+        assert clk.now() == pytest.approx(2.0)
+
+    def test_categories(self):
+        clk = SimClock()
+        clk.charge(1.0, "download")
+        clk.charge(2.0, "upload")
+        clk.charge(1.0, "download")
+        assert clk.breakdown() == {"download": 2.0, "upload": 2.0}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-1)
+
+    def test_reset(self):
+        clk = SimClock()
+        clk.charge(5)
+        clk.reset()
+        assert clk.now() == 0.0
+
+    def test_scaled_real_sleep(self):
+        import time
+
+        clk = SimClock(time_scale=0.01)
+        t0 = time.perf_counter()
+        clk.charge(1.0)  # should sleep ~10ms
+        elapsed = time.perf_counter() - t0
+        assert 0.005 < elapsed < 0.5
+
+    def test_thread_safety(self):
+        import threading
+
+        clk = SimClock()
+        def worker():
+            for _ in range(1000):
+                clk.charge(0.001)
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clk.now() == pytest.approx(4.0, rel=1e-6)
+
+
+class TestNetworkModel:
+    def test_transfer_time_components(self):
+        net = NetworkModel(latency_s=0.01, bandwidth_bps=1e6,
+                           request_overhead_s=0.005)
+        assert net.transfer_time(0) == pytest.approx(0.015)
+        assert net.transfer_time(1_000_000) == pytest.approx(1.015)
+        assert net.transfer_time(0, n_requests=10) == pytest.approx(0.15)
+
+    def test_request_overhead_dominates_small_files(self):
+        s3 = NETWORK_PRESETS["s3"]
+        many_small = s3.transfer_time(10_000_000, n_requests=1000)
+        one_big = s3.transfer_time(10_000_000, n_requests=2)
+        assert many_small > 10 * one_big
+
+    def test_presets_ordering(self):
+        local = NETWORK_PRESETS["local"]
+        s3 = NETWORK_PRESETS["s3"]
+        cross = NETWORK_PRESETS["cross-region"]
+        nbytes = 8 * 1024 * 1024
+        assert local.transfer_time(nbytes) < s3.transfer_time(nbytes)
+        assert s3.transfer_time(nbytes) < cross.transfer_time(nbytes)
+
+    def test_jitter_deterministic_per_seed(self):
+        a = NetworkModel(latency_s=0.01, bandwidth_bps=1e6, jitter=0.2, seed=5)
+        b = NetworkModel(latency_s=0.01, bandwidth_bps=1e6, jitter=0.2, seed=5)
+        assert [a.transfer_time(1000) for _ in range(5)] == [
+            b.transfer_time(1000) for _ in range(5)
+        ]
+
+    def test_scaled(self):
+        s3 = NETWORK_PRESETS["s3"].scaled(bandwidth_mult=2.0)
+        assert s3.bandwidth_bps == NETWORK_PRESETS["s3"].bandwidth_bps * 2
+
+    def test_flaky_injects(self):
+        flaky = FlakyNetwork(NETWORK_PRESETS["s3"], failure_rate=1.0, seed=0)
+        with pytest.raises(TransientNetworkError):
+            flaky.transfer_time(100)
+
+    def test_flaky_max_consecutive(self):
+        flaky = FlakyNetwork(NETWORK_PRESETS["s3"], failure_rate=1.0, seed=0,
+                             max_consecutive=3)
+        fails = 0
+        for _ in range(3):
+            try:
+                flaky.transfer_time(1)
+            except TransientNetworkError:
+                fails += 1
+        assert fails == 3
+        flaky.transfer_time(1)  # 4th succeeds
+
+
+class TestUtilizationTrace:
+    def test_utilization_math(self):
+        tr = UtilizationTrace()
+        tr.record(0, 1, "busy")
+        tr.record(1, 3, "stall")
+        tr.record(3, 4, "busy")
+        assert tr.total_time == 4
+        assert tr.busy_time == 2
+        assert tr.utilization == pytest.approx(0.5)
+
+    def test_timeline_windows(self):
+        tr = UtilizationTrace()
+        tr.record(0, 1, "busy")
+        tr.record(1, 2, "stall")
+        timeline = tr.timeline(n_points=2)
+        assert timeline[0] == pytest.approx(1.0)
+        assert timeline[1] == pytest.approx(0.0)
+
+    def test_empty_trace(self):
+        tr = UtilizationTrace()
+        assert tr.utilization == 0.0
+        assert np.all(tr.timeline(4) == 0)
+
+
+class TestGPUModel:
+    def test_presets(self):
+        v100 = GPUModel.v100_imagenet(batch_size=64)
+        a100 = GPUModel.a100_clip_1b(batch_size=96)
+        assert v100.images_per_second == pytest.approx(580.0)
+        assert a100.images_per_second == pytest.approx(320.0)
+
+
+class TestTrainingPipelineSim:
+    def make(self, n_gpus=1):
+        workload = WorkloadSpec(
+            n_samples=20_000, bytes_per_sample=120_000,
+            decode_time_per_sample_s=0.0015,
+        )
+        return TrainingPipelineSim(
+            workload, NETWORK_PRESETS["s3"], GPUModel.v100_imagenet(),
+            n_gpus=n_gpus,
+        )
+
+    def test_fig9_mode_ordering(self):
+        """The headline Fig 9 shape: deeplake < fast-file < file-mode."""
+        results = self.make().run_all_modes()
+        assert (
+            results["deeplake"].epoch_time_s
+            < results["fast-file"].epoch_time_s
+            < results["file-mode"].epoch_time_s
+        )
+
+    def test_file_mode_starts_late(self):
+        results = self.make().run_all_modes()
+        assert results["file-mode"].time_to_first_batch_s > 10 * \
+            results["deeplake"].time_to_first_batch_s
+
+    def test_deeplake_near_full_utilization(self):
+        res = self.make().run_epoch(AccessMode.DEEPLAKE_STREAM)
+        assert res.gpu_utilization > 0.95
+
+    def test_multi_gpu_shares_bandwidth(self):
+        single = self.make(1).run_epoch(AccessMode.DEEPLAKE_STREAM)
+        multi = self.make(8).run_epoch(AccessMode.DEEPLAKE_STREAM)
+        assert multi.gpu_utilization <= single.gpu_utilization + 1e-9
+        assert multi.images_per_second > single.images_per_second
+
+    def test_row_format(self):
+        row = self.make().run_epoch(AccessMode.FILE_MODE).row()
+        assert set(row) == {"mode", "epoch_time_s", "first_batch_s",
+                            "img_per_s", "gpu_util_pct"}

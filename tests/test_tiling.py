@@ -1,0 +1,98 @@
+"""Tiling math: shape choice, split/join roundtrip, region intersection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tiling
+
+
+class TestChooseTileShape:
+    def test_fits_budget(self):
+        shape = tiling.choose_tile_shape((4000, 3000, 3), 1, 1_000_000)
+        nbytes = int(np.prod(shape))
+        assert nbytes <= 1_000_000
+
+    def test_no_split_when_small(self):
+        assert tiling.choose_tile_shape((100, 100, 3), 1, 10**6) == (100, 100, 3)
+
+    def test_channel_dim_never_split(self):
+        shape = tiling.choose_tile_shape((10_000, 10_000, 3), 1, 4096)
+        assert shape[2] == 3
+
+    def test_empty_shape(self):
+        assert tiling.choose_tile_shape((), 8, 100) == ()
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        assert tiling.grid_shape((10, 10), (4, 5)) == (3, 2)
+        assert tiling.num_tiles((10, 10), (4, 5)) == 6
+
+    def test_iter_grid_row_major(self):
+        assert list(tiling.iter_grid((2, 2))) == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+
+    def test_tile_slices_edges(self):
+        sl = tiling.tile_slices((2, 1), (4, 5), (10, 10))
+        assert sl == (slice(8, 10), slice(5, 10))
+
+
+class TestSplitJoin:
+    def test_roundtrip_2d(self, rng):
+        arr = rng.integers(0, 255, (37, 53), dtype=np.uint8)
+        tiles = tiling.split(arr, (16, 16))
+        out = tiling.join(tiles, arr.shape, (16, 16), arr.dtype)
+        assert np.array_equal(out, arr)
+
+    def test_roundtrip_3d(self, rng):
+        arr = rng.random((20, 30, 3)).astype(np.float32)
+        tiles = tiling.split(arr, (7, 11, 3))
+        out = tiling.join(tiles, arr.shape, (7, 11, 3), arr.dtype)
+        assert np.array_equal(out, arr)
+
+    @given(
+        h=st.integers(1, 40), w=st.integers(1, 40),
+        th=st.integers(1, 12), tw=st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_split_join_identity(self, h, w, th, tw):
+        arr = np.arange(h * w, dtype=np.int32).reshape(h, w)
+        tiles = tiling.split(arr, (th, tw))
+        assert len(tiles) == tiling.num_tiles((h, w), (th, tw))
+        out = tiling.join(tiles, (h, w), (th, tw), arr.dtype)
+        assert np.array_equal(out, arr)
+
+
+class TestRegionIntersection:
+    def test_only_intersecting_tiles(self):
+        hits = tiling.tiles_for_region(
+            (slice(0, 5), slice(0, 5)), (100, 100), (10, 10)
+        )
+        assert len(hits) == 1
+        assert hits[0][1] == (0, 0)
+
+    def test_spanning_region(self):
+        hits = tiling.tiles_for_region(
+            (slice(5, 25),), (100,), (10,)
+        )
+        assert [g for _f, g in hits] == [(0,), (1,), (2,)]
+
+    def test_partial_region_spec_covers_trailing_dims(self):
+        hits = tiling.tiles_for_region(
+            (slice(0, 10),), (20, 30), (10, 10)
+        )
+        # rows 0 only, all 3 column tiles
+        assert [g for _f, g in hits] == [(0, 0), (0, 1), (0, 2)]
+
+    def test_flat_indices_match_row_major(self):
+        hits = tiling.tiles_for_region(
+            (slice(0, 100), slice(0, 100)), (100, 100), (50, 50)
+        )
+        assert [f for f, _g in hits] == [0, 1, 2, 3]
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            tiling.tiles_for_region((slice(0, 10, 2),), (20,), (5,))

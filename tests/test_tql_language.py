@@ -1,0 +1,230 @@
+"""TQL lexer, parser, unparser, and function registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TQLNameError, TQLSyntaxError, TQLTypeError, \
+    TQLUnsupportedError
+from repro.tql import parse, unparse
+from repro.tql.ast_nodes import (
+    ArrayLiteral,
+    Binary,
+    Column,
+    FuncCall,
+    Literal,
+    Subscript,
+)
+from repro.tql.functions import get_row_function
+from repro.tql.lexer import tokenize
+
+FIG5 = """
+SELECT
+    images[100:500, 100:500, 0:2] as crop,
+    NORMALIZE(
+        boxes,
+        [100, 100, 400, 400]) as box
+FROM
+    dataset
+WHERE IOU(boxes, "training/boxes") > 0.95
+ORDER BY IOU(boxes, "training/boxes")
+ARRANGE BY labels
+"""
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select Images From ds")
+        assert toks[0].value == "SELECT"
+        assert toks[1].kind == "IDENT" and toks[1].value == "Images"
+        assert toks[2].value == "FROM"
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 1e3 .5 3.1e-2")
+        assert [t.value for t in toks[:-1]] == ["1", "2.5", "1e3", ".5",
+                                                "3.1e-2"]
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"a\"b" ' + r"'c\'d'")
+        assert toks[0].value == 'a"b'
+        assert toks[1].value == "c'd"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TQLSyntaxError):
+            tokenize('"oops')
+
+    def test_comments_skipped(self):
+        toks = tokenize("SELECT x -- a comment\nFROM ds")
+        assert [t.value for t in toks[:-1]] == ["SELECT", "x", "FROM", "ds"]
+
+    def test_two_char_symbols(self):
+        toks = tokenize("a <= b >= c != d <> e == f")
+        symbols = [t.value for t in toks if t.kind == "SYMBOL"]
+        assert symbols == ["<=", ">=", "!=", "<>", "=="]
+
+    def test_unexpected_char(self):
+        with pytest.raises(TQLSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_fig5_full_structure(self):
+        q = parse(FIG5)
+        assert len(q.projections) == 2
+        crop = q.projections[0]
+        assert crop.alias == "crop"
+        assert isinstance(crop.expr, Subscript)
+        assert isinstance(crop.expr.base, Column)
+        assert crop.expr.base.name == "images"
+        assert len(crop.expr.parts) == 3
+        box = q.projections[1]
+        assert isinstance(box.expr, FuncCall)
+        assert box.expr.name == "NORMALIZE"
+        assert isinstance(box.expr.args[1], ArrayLiteral)
+        assert q.source == "dataset"
+        assert isinstance(q.where, Binary) and q.where.op == ">"
+        assert len(q.order_by) == 1 and q.order_by[0].ascending
+        assert len(q.arrange_by) == 1
+
+    def test_select_star(self):
+        q = parse("SELECT *")
+        assert q.select_star and not q.projections
+
+    def test_precedence(self):
+        q = parse("SELECT * WHERE a + b * c == d AND NOT e OR f")
+        # OR at top
+        assert q.where.op == "OR"
+        left = q.where.left
+        assert left.op == "AND"
+        cmp_node = left.left
+        assert cmp_node.op == "=="
+        assert cmp_node.left.op == "+"
+        assert cmp_node.left.right.op == "*"
+
+    def test_slice_variants(self):
+        q = parse("SELECT x[1:], x[:5], x[::2], x[3], x[1:5:2, 7]")
+        parts = q.projections[4].expr.parts
+        assert parts[0].is_slice and not parts[1].is_slice
+
+    def test_order_desc_and_limit_offset(self):
+        q = parse("SELECT * ORDER BY a DESC, b ASC LIMIT 10 OFFSET 5")
+        assert [o.ascending for o in q.order_by] == [False, True]
+        assert q.limit == 10 and q.offset == 5
+
+    def test_sample_by(self):
+        q = parse("SELECT * SAMPLE BY w REPLACE FALSE LIMIT 7")
+        assert q.sample_by.replace is False
+        assert q.sample_by.limit == 7
+        assert q.limit is None
+
+    def test_group_by(self):
+        q = parse("SELECT labels, COUNT() as n GROUP BY labels")
+        assert len(q.group_by) == 1
+
+    def test_version_clause(self):
+        q = parse('SELECT * VERSION "abc123" WHERE x > 0')
+        assert q.version == "abc123"
+
+    def test_join_unsupported(self):
+        with pytest.raises(TQLUnsupportedError):
+            parse("SELECT * FROM a JOIN b")
+
+    def test_dotted_group_paths(self):
+        q = parse("SELECT cams.left WHERE cams.left > 0")
+        assert q.projections[0].expr.name == "cams/left"
+
+    def test_contains_and_in(self):
+        q = parse("SELECT * WHERE t CONTAINS 'cat' AND x IN [1, 2, 3]")
+        assert q.where.left.op == "CONTAINS"
+        assert q.where.right.op == "IN"
+
+    def test_bare_alias(self):
+        q = parse("SELECT MEAN(x) avg_x")
+        assert q.projections[0].alias == "avg_x"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TQLSyntaxError):
+            parse("SELECT * WHERE x > 0 banana phone")
+
+    def test_missing_select(self):
+        with pytest.raises(TQLSyntaxError):
+            parse("WHERE x > 0")
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            FIG5,
+            "SELECT *",
+            "SELECT a, b AS bee WHERE (a + 1) * 2 >= b LIMIT 3",
+            "SELECT x[0:5, 2] ORDER BY MEAN(x) DESC",
+            "SELECT labels, COUNT() AS n GROUP BY labels",
+            "SELECT * SAMPLE BY w REPLACE FALSE LIMIT 4 OFFSET 2",
+            'SELECT * VERSION "c0ffee" WHERE NOT (a == 1 OR b != 2)',
+            "SELECT t WHERE t CONTAINS 'cat' AND x IN [1, 2]",
+        ],
+    )
+    def test_parse_unparse_fixpoint(self, query):
+        once = unparse(parse(query))
+        twice = unparse(parse(once))
+        assert once == twice
+
+
+class TestFunctions:
+    def test_iou_identical_boxes(self):
+        iou = get_row_function("IOU")
+        box = np.array([10, 10, 20, 20], dtype=np.float64)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        iou = get_row_function("IOU")
+        assert iou(np.array([0, 0, 5, 5]), np.array([100, 100, 5, 5])) == 0.0
+
+    def test_iou_known_overlap(self):
+        iou = get_row_function("IOU")
+        a = np.array([0, 0, 10, 10])
+        b = np.array([5, 0, 10, 10])
+        # intersection 50, union 150
+        assert iou(a, b) == pytest.approx(1 / 3)
+
+    def test_iou_multi_box_mean(self):
+        iou = get_row_function("IOU")
+        a = np.array([[0, 0, 10, 10], [0, 0, 10, 10]])
+        b = np.array([[0, 0, 10, 10], [100, 100, 1, 1]])
+        assert iou(a, b) == pytest.approx(0.5)
+
+    def test_normalize(self):
+        norm = get_row_function("NORMALIZE")
+        out = norm(np.array([150.0, 200.0, 100.0, 80.0]),
+                   np.array([100, 100, 400, 400]))
+        assert out == pytest.approx([0.125, 0.25, 0.25, 0.2])
+
+    def test_normalize_bad_ref(self):
+        with pytest.raises(TQLTypeError):
+            get_row_function("NORMALIZE")(np.zeros(4), np.zeros(3))
+
+    def test_reductions(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert get_row_function("MEAN")(x) == 2.5
+        assert get_row_function("SUM")(x) == 10
+        assert get_row_function("MAX")(x, 0).tolist() == [3.0, 4.0]
+        assert get_row_function("ALL")(x > 0)
+        assert not get_row_function("ANY")(x > 10)
+
+    def test_softmax(self):
+        out = get_row_function("SOFTMAX")(np.array([0.0, 0.0]))
+        assert out.tolist() == [0.5, 0.5]
+
+    def test_text_functions(self):
+        assert get_row_function("LOWER")("AbC") == "abc"
+        assert get_row_function("UPPER")("abc") == "ABC"
+        assert get_row_function("LENGTH")("abcd") == 4
+        with pytest.raises(TQLTypeError):
+            get_row_function("LOWER")(np.zeros(3))
+
+    def test_cosine(self):
+        fn = get_row_function("COSINE_SIMILARITY")
+        assert fn(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert fn(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_unknown_function(self):
+        with pytest.raises(TQLNameError):
+            get_row_function("FROBNICATE")

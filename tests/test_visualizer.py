@@ -1,0 +1,208 @@
+"""Visualizer: font, renderer primitives, layout engine, streamed views."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import VisualizerError
+from repro.storage import MemoryProvider
+from repro.visualizer import (
+    FrameBuffer,
+    Visualizer,
+    downsample,
+    glyph,
+    resize_nearest,
+    text_mask,
+    to_rgb,
+)
+from repro.workloads import smooth_image, video_like
+from repro.workloads.builders import build_detection_dataset
+
+
+class TestFont:
+    def test_glyph_shape(self):
+        assert glyph("A").shape == (7, 5)
+        assert glyph("a").any()  # lower-cases to upper
+
+    def test_unknown_renders_box(self):
+        g = glyph("é")
+        assert g[0].all() and g[-1].all()
+
+    def test_text_mask_width(self):
+        mask = text_mask("AB")
+        assert mask.shape == (7, 11)  # 5 + 1 + 5
+
+    def test_scale(self):
+        assert text_mask("A", scale=2).shape == (14, 10)
+
+    def test_empty_string(self):
+        assert text_mask("").shape[1] == 0
+
+
+class TestRenderer:
+    def test_to_rgb_variants(self, rng):
+        assert to_rgb(np.zeros((4, 4), dtype=np.uint8)).shape == (4, 4, 3)
+        assert to_rgb(np.zeros((4, 4, 1), dtype=np.uint8)).shape == (4, 4, 3)
+        assert to_rgb(np.zeros((4, 4, 5), dtype=np.uint8)).shape == (4, 4, 3)
+        out = to_rgb(rng.random((4, 4)).astype(np.float32))
+        assert out.dtype == np.uint8
+
+    def test_to_rgb_bool_mask(self):
+        out = to_rgb(np.eye(3, dtype=bool))
+        assert out[0, 0, 0] == 255 and out[0, 1, 0] == 0
+
+    def test_blit_clipped(self):
+        fb = FrameBuffer(10, 10)
+        fb.blit(np.full((6, 6, 3), 200, dtype=np.uint8), 7, 7)
+        assert tuple(fb.pixels[8, 8]) == (200, 200, 200)
+        assert fb.pixels.shape == (10, 10, 3)
+
+    def test_draw_rect_outline_only(self):
+        fb = FrameBuffer(20, 20, background=(0, 0, 0))
+        fb.draw_rect(2, 2, 12, 12, (255, 0, 0), thickness=1)
+        assert tuple(fb.pixels[2, 5]) == (255, 0, 0)
+        assert tuple(fb.pixels[7, 7]) == (0, 0, 0)  # interior untouched
+
+    def test_blend_mask_alpha(self):
+        fb = FrameBuffer(4, 4, background=(0, 0, 0))
+        fb.blend_mask(np.ones((4, 4), bool), 0, 0, (100, 100, 100), alpha=0.5)
+        assert tuple(fb.pixels[0, 0]) == (50, 50, 50)
+
+    def test_draw_text_marks_pixels(self):
+        fb = FrameBuffer(20, 60, background=(0, 0, 0))
+        fb.draw_text("HI", 4, 4, color=(255, 255, 255), background=None)
+        assert (fb.pixels == 255).any()
+
+    def test_downsample_mean(self):
+        img = np.zeros((4, 4, 1), dtype=np.uint8)
+        img[:2] = 100
+        out = downsample(img, 2)
+        assert out.shape == (2, 2, 1)
+        assert out[0, 0, 0] == 100 and out[1, 0, 0] == 0
+
+    def test_resize_nearest(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        out = resize_nearest(img[:, :, None], 8, 2)
+        assert out.shape == (8, 2, 1)
+
+    def test_polyline(self):
+        fb = FrameBuffer(10, 10, background=(0, 0, 0))
+        fb.draw_polyline([(0, 0), (9, 9)], (255, 0, 0))
+        assert tuple(fb.pixels[5, 5]) == (255, 0, 0)
+
+
+class TestEngine:
+    @pytest.fixture
+    def det_ds(self):
+        return build_detection_dataset(MemoryProvider(), 4, seed=0,
+                                       resolution=120)
+
+    def test_layout_classification(self, det_ds):
+        vz = Visualizer(det_ds)
+        scene = vz.scene()
+        assert scene.primary.tensor == "images"
+        assert {layer.tensor for layer in scene.overlays} == {"boxes"}
+        assert {layer.tensor for layer in scene.badges} == {"labels"}
+
+    def test_render_emits_commands(self, det_ds):
+        vz = Visualizer(det_ds, viewport=(128, 128))
+        fb = vz.render(1)
+        ops = [c["op"] for c in vz.commands]
+        assert "blit" in ops and "rect" in ops and "text" in ops
+        assert fb.pixels.shape == (128, 128, 3)
+
+    def test_render_no_primary(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("emb", htype="embedding")
+        ds.emb.append(np.zeros(8, dtype=np.float32))
+        fb = Visualizer(ds).render(0)
+        assert fb is not None
+
+    def test_mask_overlay(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("img", htype="image", sample_compression="png")
+        ds.create_tensor("mask", htype="binary_mask")
+        img = smooth_image(rng, 40, 40)
+        mask = np.zeros((40, 40), dtype=bool)
+        mask[:20] = True
+        ds.append({"img": img, "mask": mask})
+        vz = Visualizer(ds, viewport=(64, 64))
+        vz.render(0)
+        ops = {c["op"]: c for c in vz.commands}
+        assert ops["mask"]["coverage"] == pytest.approx(0.5)
+
+    def test_class_names_in_badges(self, det_ds):
+        vz = Visualizer(det_ds)
+        vz.render(0)
+        texts = [c["text"] for c in vz.commands if c["op"] == "text"]
+        assert any("class_" in t for t in texts)
+
+    def test_downsampled_fast_path(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("img", htype="image", sample_compression="png",
+                         downsampling=2)
+        ds.img.append(smooth_image(rng, 64, 64))
+        vz = Visualizer(ds, viewport=(32, 32))
+        vz.render(0, prefer_downsampled=True)
+        fetch = [c for c in vz.commands if c["op"] == "fetch"][0]
+        assert fetch["downsampled"] is True
+        vz.render(0, prefer_downsampled=False)
+        fetch = [c for c in vz.commands if c["op"] == "fetch"][0]
+        assert fetch["downsampled"] is False
+
+    def test_grid_view(self, det_ds):
+        vz = Visualizer(det_ds)
+        fb = vz.render_grid([0, 1, 2, 3], cols=2, cell=64)
+        assert fb.pixels.shape == (128, 128, 3)
+        assert len([c for c in vz.commands if c["op"] == "thumb"]) == 4
+
+    def test_region_streaming_fetches_subset(self, rng):
+        storage = MemoryProvider()
+        ds = repro.empty(storage, overwrite=True)
+        ds.create_tensor("big", htype="image", sample_compression="png",
+                         max_chunk_size=32 * 1024, create_shape_tensor=False,
+                         create_id_tensor=False)
+        img = smooth_image(rng, 512, 512)
+        ds.big.append(img)
+        ds.flush()
+        fresh = repro.load(storage)
+        storage.stats.reset()
+        vz = Visualizer(fresh, viewport=(64, 64))
+        vz.render_region(0, (slice(100, 160), slice(100, 160)),
+                         tensor="big")
+        fetched = storage.stats.bytes_read  # snapshot before summing
+        total = sum(len(storage[k]) for k in storage if "/chunks/" in k)
+        assert fetched < total / 2
+        assert vz.commands[0]["tiled"] is True
+
+    def test_video_seek_partial_decode(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("clip", htype="video", sample_compression="mp4")
+        clip = next(video_like(1, seed=0, frames=24, resolution=32))
+        ds.clip.append(clip)
+        vz = Visualizer(ds)
+        frame = vz.play_frame(0, 15)
+        assert frame.shape == (32, 32, 3)
+        cmd = vz.commands[0]
+        assert cmd["bytes_needed"] < cmd["bytes_total"]
+
+    def test_sequence_playback(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("frames", htype="sequence[image]",
+                         sample_compression="png")
+        items = [smooth_image(rng, 16, 16) for _ in range(5)]
+        ds.frames.append(items)
+        vz = Visualizer(ds)
+        out = vz.play_frame(0, 3, tensor="frames")
+        assert np.array_equal(out, items[3])
+        with pytest.raises(VisualizerError):
+            vz.play_frame(0, 99, tensor="frames")
+
+    def test_audio_waveform_primary(self, rng):
+        ds = repro.empty(MemoryProvider(), overwrite=True)
+        ds.create_tensor("sound", htype="audio", sample_compression="flac")
+        sig = (np.sin(np.linspace(0, 60, 8000)) * 9000).astype(np.int16)
+        ds.sound.append(sig)
+        vz = Visualizer(ds, viewport=(200, 500))
+        fb = vz.render(0)
+        assert (fb.pixels[:, :, 2] > 200).any()  # waveform pixels drawn
