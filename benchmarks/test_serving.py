@@ -1,0 +1,157 @@
+"""Serving tier — 8 tenants streaming one dataset: shared-cache server vs
+clients hitting object storage directly (aggregate samples/sec, backend
+GETs; higher/lower is better respectively).
+
+Scenario: eight simulated clients each repeatedly open the dataset and
+stream a full epoch (the many-short-jobs pattern of a shared dataset
+platform).  *Direct* clients talk to simulated S3 themselves with no
+cache, so every epoch pays full object-store latency per chunk.  *Served*
+clients go through one DatasetServer over a LAN-model transport: the
+shared chunk cache + single-flight dedup mean the backend is touched
+roughly once per unique blob, total, across all tenants and epochs.
+
+The SimClock runs with ``time_scale=1``: every modelled network delay is
+a real sleep in the calling thread, so concurrency (8 client threads,
+server workers) overlaps waits physically and wall-clock throughput is
+meaningful.  Expected shape: served aggregate throughput >= 2x direct,
+backend GETs collapse by ~an order of magnitude (paper §5's streaming
+engine put behind a multi-tenant front door).
+"""
+
+import pytest
+
+import repro
+from benchmarks.conftest import print_table, scaled
+from repro.serve import (
+    DatasetServer,
+    RemoteStorageProvider,
+    SimNetworkTransport,
+    ThreadedTransport,
+)
+from repro.sim import SimClock, run_concurrent_clients
+from repro.storage import MemoryProvider, SimulatedObjectStore
+from repro.workloads.builders import build_image_classification_dataset
+
+N = scaled(32, minimum=16)
+RES = 48
+BATCH = 8
+CLIENTS = 8
+EPOCHS = 5
+TIME_SCALE = 1.0
+_ROWS = []
+_RESULTS = {}
+
+
+def _build_backing() -> MemoryProvider:
+    backing = MemoryProvider("serving-bench")
+    build_image_classification_dataset(
+        backing, N, seed=0, base=RES, ragged=False, max_chunk_size=8 * 1024
+    )
+    return backing
+
+
+def _epoch(ds) -> int:
+    loader = ds.dataloader(batch_size=BATCH, shuffle=False, num_workers=0)
+    return sum(len(b["labels"]) for b in loader)
+
+
+def _direct_uncached(backing) -> dict:
+    clock = SimClock(time_scale=TIME_SCALE)
+    stores = [
+        SimulatedObjectStore("s3", clock=clock, backing=backing)
+        for _ in range(CLIENTS)
+    ]
+
+    def client(cid: int) -> int:
+        samples = 0
+        for _ in range(EPOCHS):
+            ds = repro.load(stores[cid], read_only=True)
+            samples += _epoch(ds)
+        return samples
+
+    report = run_concurrent_clients(CLIENTS, client)
+    report.raise_errors()
+    return {
+        "report": report,
+        "backend_gets": sum(s.stats.get_requests for s in stores),
+        "backend_mb": sum(s.stats.bytes_read for s in stores) / 1e6,
+    }
+
+
+def _served_cached(backing) -> dict:
+    clock = SimClock(time_scale=TIME_SCALE)
+    backend = SimulatedObjectStore("s3", clock=clock, backing=backing)
+    server = DatasetServer(name="bench-server")
+    server.add_dataset("ds", backend)
+    shared = ThreadedTransport(server, num_workers=CLIENTS)
+
+    def client(cid: int) -> int:
+        # client <-> server is a LAN hop; server <-> S3 is the slow link
+        transport = SimNetworkTransport(shared, network="local", clock=clock)
+        provider = RemoteStorageProvider(transport, "ds",
+                                         tenant=f"tenant-{cid}")
+        samples = 0
+        for _ in range(EPOCHS):
+            ds = repro.load(provider, read_only=True)
+            samples += _epoch(ds)
+        return samples
+
+    try:
+        report = run_concurrent_clients(CLIENTS, client)
+    finally:
+        shared.close()
+    report.raise_errors()
+    stats = server.stats_snapshot()
+    return {
+        "report": report,
+        "backend_gets": backend.stats.get_requests,
+        "backend_mb": backend.stats.bytes_read / 1e6,
+        "cache_hit_ratio": stats["cache"]["hit_ratio"],
+        "client_requests": sum(
+            t["requests"] for t in stats["tenants"].values()
+        ),
+    }
+
+
+@pytest.mark.parametrize("arrangement", ["direct-uncached", "served-cached"])
+def test_serving_throughput(benchmark, arrangement):
+    backing = _build_backing()
+    fn = _direct_uncached if arrangement == "direct-uncached" else _served_cached
+    result = benchmark.pedantic(lambda: fn(backing), rounds=1, iterations=1)
+    _RESULTS[arrangement] = result
+    report = result["report"]
+    assert report.total_samples == CLIENTS * EPOCHS * N
+    _ROWS.append({
+        "arrangement": arrangement,
+        "clients": CLIENTS,
+        "epochs": EPOCHS,
+        "wall_s": round(report.wall_s, 3),
+        "agg_samples_per_s": round(report.aggregate_samples_per_s, 1),
+        "backend_gets": result["backend_gets"],
+        "backend_mb": round(result["backend_mb"], 1),
+    })
+
+
+def test_zz_serving_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_ROWS) < 2:
+        pytest.skip("run the whole file to get the report")
+    print_table(
+        f"Serving | {CLIENTS} tenants x {EPOCHS} epochs of {N} x {RES}^2 "
+        "JPEG: shared-cache server vs direct S3 readers",
+        _ROWS,
+        note="served >= 2x aggregate samples/s; backend GETs collapse "
+        "via shared cache + single-flight",
+    )
+    direct = _RESULTS["direct-uncached"]
+    served = _RESULTS["served-cached"]
+    direct_tput = direct["report"].aggregate_samples_per_s
+    served_tput = served["report"].aggregate_samples_per_s
+    assert served_tput >= 2.0 * direct_tput, (
+        f"served {served_tput:.0f} samples/s < 2x direct "
+        f"{direct_tput:.0f} samples/s"
+    )
+    # the shared cache makes backend traffic sublinear in client count
+    assert served["backend_gets"] < direct["backend_gets"] / 4
+    assert served["backend_gets"] < served["client_requests"]
+    assert served["cache_hit_ratio"] > 0.5

@@ -7,13 +7,20 @@ Public surface (mirroring the ``deeplake`` package):
   :func:`exists`, :func:`delete`, :func:`copy`
 - samples: :func:`read` (raw encoded files), :func:`link` (linked tensors)
 - parallel transforms: :func:`compute`, :func:`compose`
+- serving: :func:`serve` (host datasets), :func:`connect` (attach to a
+  running server via ``serve://`` URLs)
 - the core classes: :class:`Dataset`, :class:`Tensor`
 - subsystems: :mod:`repro.tql`, :mod:`repro.dataloader`,
   :mod:`repro.visualizer`, :mod:`repro.ingest`, :mod:`repro.storage`,
-  :mod:`repro.sim`, :mod:`repro.baselines`, :mod:`repro.workloads`
+  :mod:`repro.sim`, :mod:`repro.baselines`, :mod:`repro.workloads`,
+  :mod:`repro.serve`
 """
 
-from repro.api import copy, dataset, delete, empty, exists, load
+from repro.api import connect, copy, dataset, delete, empty, exists, load
+# the serve subsystem module is callable: repro.serve({...}) starts a
+# DatasetServer (forwards to repro.api.serve), repro.serve.DatasetServer
+# is the class
+import repro.serve  # noqa: E402,F401
 from repro.core.dataset import Dataset
 from repro.core.tensor import Tensor
 from repro.core.sample import LinkedSample, Sample, link, read
@@ -29,6 +36,8 @@ __all__ = [
     "exists",
     "delete",
     "copy",
+    "serve",
+    "connect",
     "read",
     "link",
     "compute",

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.core.dataset import Dataset
 from repro.core.sample import link, read  # noqa: F401  (re-exported)
@@ -21,6 +21,7 @@ from repro.storage.router import storage_from_url
 from repro.util import keys as K
 
 PathOrProvider = Union[str, StorageProvider]
+ServablePath = Union[str, StorageProvider, Dataset]
 
 
 def _provider(path: PathOrProvider, cache_bytes: Optional[int] = None) -> StorageProvider:
@@ -97,3 +98,56 @@ def delete(path: PathOrProvider) -> None:
 def copy(src: Dataset, dest: PathOrProvider, **kwargs) -> Dataset:
     """Materialize *src* (dataset or view) into *dest* storage."""
     return src.copy(_provider(dest), path=_path_str(dest), **kwargs)
+
+
+def serve(
+    datasets: Dict[str, ServablePath],
+    name: str = "local",
+    num_workers: int = 4,
+    **server_kwargs,
+):
+    """Start a Tensor Streaming Server hosting *datasets*.
+
+    ``datasets`` maps served names to dataset paths, providers, or open
+    :class:`Dataset` objects (flushed and served from their storage).  The
+    server is started (threaded transport) and registered, so
+    ``serve://<name>/<dataset>`` URLs resolve immediately::
+
+        server = repro.serve({"mnist": "s3-sim://bkt/mnist"}, name="edge")
+        ds = repro.connect("serve://edge/mnist")
+
+    Returns the running :class:`~repro.serve.DatasetServer`; call
+    ``.stop()`` (or use it as a context manager) to shut it down.
+    """
+    from repro.serve import DatasetServer
+
+    server = DatasetServer(name=name, **server_kwargs)
+    for ds_name, target in datasets.items():
+        if isinstance(target, Dataset):
+            target.flush()
+            target = target.storage
+        server.add_dataset(ds_name, target)
+    return server.start(num_workers=num_workers)
+
+
+def connect(
+    url: str,
+    read_only: bool = True,
+    strict: bool = True,
+    cache_bytes: Optional[int] = None,
+) -> Dataset:
+    """Open a dataset hosted by a running server (``serve://srv/name``).
+
+    Serving is a shared, read-mostly tier, so connections default to
+    read-only; pass ``read_only=False`` to write through the server.
+    Requests are served from the server's shared cache; pass
+    ``cache_bytes`` to add a client-side LRU as well (faster re-reads,
+    but stale after another tenant writes).
+    """
+    if not url.startswith("serve://"):
+        raise DeepLakeError(
+            f"connect() expects a serve:// URL, got {url!r}; "
+            "use repro.load() for direct storage access"
+        )
+    return load(url, read_only=read_only, strict=strict,
+                cache_bytes=cache_bytes)

@@ -22,7 +22,11 @@ import itertools
 import threading
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.exceptions import DataLoaderError, MemoryBudgetError
+from repro.exceptions import (
+    DataLoaderError,
+    MemoryBudgetError,
+    TaskCancelledError,
+)
 
 
 class PriorityWorkerPool:
@@ -67,31 +71,76 @@ class PriorityWorkerPool:
             except BaseException as exc:  # noqa: BLE001 - propagate to consumer
                 future.set_exception(exc)
 
-    def shutdown(self) -> None:
+    def pending(self) -> int:
+        """Tasks queued but not yet picked up by a worker."""
+        with self._lock:
+            return len(self._heap)
+
+    def shutdown(self, cancel_pending: bool = True) -> None:
+        """Stop the pool; by default cancel tasks that never started.
+
+        Cancelling wakes every waiter with :class:`TaskCancelledError`
+        instead of leaving it blocked on a result that will never arrive
+        (a shutting-down server/loader must not deadlock its consumers).
+        Tasks already running complete normally.
+        """
         with self._not_empty:
             self._shutdown = True
+            if cancel_pending:
+                pending = self._heap
+                self._heap = []
+            else:
+                pending = []
             self._not_empty.notify_all()
+        for _prio, _seq, _fn, _args, future in pending:
+            future.cancel()
         for t in self._threads:
             t.join(timeout=5)
 
 
 class Future:
-    """Tiny future (avoids concurrent.futures' executor coupling)."""
+    """Tiny future (avoids concurrent.futures' executor coupling).
 
-    __slots__ = ("_event", "_result", "_exc")
+    Settling is first-wins and idempotent: once a result, exception, or
+    cancellation lands, later ``set_*`` calls return ``False`` and change
+    nothing — so a worker finishing a task that was cancelled mid-flight
+    cannot clobber the cancellation (and vice versa).
+    """
+
+    __slots__ = ("_event", "_lock", "_result", "_exc", "_cancelled")
 
     def __init__(self):
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._result = None
         self._exc: Optional[BaseException] = None
+        self._cancelled = False
 
-    def set_result(self, value) -> None:
-        self._result = value
-        self._event.set()
+    def set_result(self, value) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._result = value
+            self._event.set()
+            return True
 
-    def set_exception(self, exc: BaseException) -> None:
-        self._exc = exc
-        self._event.set()
+    def set_exception(self, exc: BaseException) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._exc = exc
+            self._event.set()
+            return True
+
+    def cancel(self) -> bool:
+        """Settle with :class:`TaskCancelledError`; False if already done."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._cancelled = True
+            self._exc = TaskCancelledError("task cancelled before it ran")
+            self._event.set()
+            return True
 
     def result(self, timeout: Optional[float] = None):
         if not self._event.wait(timeout):
@@ -102,6 +151,9 @@ class Future:
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def cancelled(self) -> bool:
+        return self._cancelled
 
 
 def compute_inflight_limit(

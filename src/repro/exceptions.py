@@ -51,6 +51,22 @@ class LockError(StorageError):
     """Branch lock could not be acquired or was lost."""
 
 
+class ServeError(StorageError):
+    """Base class for Tensor Streaming Server failures."""
+
+
+class UnknownServerError(ServeError):
+    """A ``serve://`` URL referenced a server that is not running."""
+
+
+class UnknownDatasetError(ServeError):
+    """A request referenced a dataset the server does not host."""
+
+
+class AdmissionError(ServeError):
+    """Request rejected by the server's per-tenant admission control."""
+
+
 # ---------------------------------------------------------------------------
 # Tensor Storage Format
 # ---------------------------------------------------------------------------
@@ -193,6 +209,10 @@ class CollateError(DataLoaderError):
 
 class MemoryBudgetError(DataLoaderError):
     """Prefetch plan would exceed the configured memory budget."""
+
+
+class TaskCancelledError(DataLoaderError):
+    """A pending task was cancelled (e.g. by pool/server shutdown)."""
 
 
 class TransformError(DeepLakeError):

@@ -1,0 +1,67 @@
+"""Tensor Streaming Server: multi-tenant dataset serving (§5 scaled up).
+
+The paper streams chunks from remote storage into training processes; the
+ROADMAP's north star serves heavy traffic from millions of users.  This
+package is the jump from library to platform: a :class:`DatasetServer`
+hosts N datasets behind a shared chunk cache, single-flight backend
+deduplication, range-request coalescing and per-tenant admission control,
+while :class:`RemoteStorageProvider` makes a served dataset look like any
+other storage provider — so ``repro.load("serve://srv/ds")`` feeds the
+unmodified Dataset / dataloader / TQL stack.
+
+    server = repro.serve({"imagenet": "s3-sim://bkt/imagenet"}, name="srv")
+    ds = repro.connect("serve://alice@srv/imagenet")
+    for batch in ds.dataloader(batch_size=64):
+        ...
+    server.stop()
+"""
+
+import sys
+import types
+
+from repro.serve.client import RemoteStorageProvider
+from repro.serve.protocol import Request, Response
+from repro.serve.server import (
+    DatasetServer,
+    TenantStats,
+    clear_servers,
+    get_server,
+    register_server,
+    unregister_server,
+)
+from repro.serve.transport import (
+    InprocTransport,
+    SimNetworkTransport,
+    ThreadedTransport,
+    Transport,
+)
+
+__all__ = [
+    "DatasetServer",
+    "TenantStats",
+    "RemoteStorageProvider",
+    "Request",
+    "Response",
+    "Transport",
+    "InprocTransport",
+    "ThreadedTransport",
+    "SimNetworkTransport",
+    "register_server",
+    "unregister_server",
+    "get_server",
+    "clear_servers",
+]
+
+
+class _CallableServeModule(types.ModuleType):
+    """Lets ``repro.serve(...)`` start a server while ``repro.serve`` stays
+    this package (``repro.serve.DatasetServer`` etc.). The call forwards to
+    :func:`repro.api.serve`."""
+
+    def __call__(self, datasets, **kwargs):
+        from repro.api import serve as _serve
+
+        return _serve(datasets, **kwargs)
+
+
+sys.modules[__name__].__class__ = _CallableServeModule

@@ -1,0 +1,82 @@
+"""Client side of the Tensor Streaming Server.
+
+:class:`RemoteStorageProvider` is a full :class:`StorageProvider` whose
+backing "disk" is a served dataset reached over a transport.  Because the
+entire repo talks to storage through that one interface, `Dataset`,
+`DeepLakeLoader` prefetch workers, TQL, and the visualizer all run
+*unmodified* against a remote dataset — the provider is what the
+``serve://`` scheme in :func:`repro.storage.router.storage_from_url`
+returns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.serve.protocol import Request, Response, raise_from_response
+from repro.serve.transport import Transport
+from repro.storage.provider import StorageProvider
+
+
+class RemoteStorageProvider(StorageProvider):
+    """Storage provider proxying every operation to a DatasetServer."""
+
+    def __init__(self, transport: Transport, dataset: str,
+                 tenant: str = "default"):
+        super().__init__()
+        self.transport = transport
+        self.dataset = dataset
+        self.tenant = tenant
+
+    # ------------------------------------------------------------------ #
+
+    def _request(self, op: str, **fields) -> Response:
+        req = Request(op=op, tenant=self.tenant, dataset=self.dataset,
+                      **fields)
+        resp = self.transport.request(req)
+        raise_from_response(resp)
+        return resp
+
+    def _get(self, key: str, start: Optional[int],
+             end: Optional[int]) -> bytes:
+        return self._request("get", key=key, start=start, end=end).data
+
+    def _set(self, key: str, value: bytes) -> None:
+        self._request("put", key=key, payload=value)
+
+    def _delete(self, key: str) -> None:
+        self._request("delete", key=key)
+
+    def _all_keys(self) -> Set[str]:
+        return set(self._request("keys").keys)
+
+    def flush(self) -> None:
+        self._request("flush")
+
+    # ------------------------------------------------------------------ #
+    # serve-specific extensions
+    # ------------------------------------------------------------------ #
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
+        """Fetch several blobs in one round trip (missing keys omitted).
+
+        One request/response pays the transport's per-message cost once —
+        the batching analogue of the server's range→chunk coalescing.
+        """
+        resp = self._request("get_many", keys=tuple(keys))
+        for data in resp.blobs.values():
+            self.stats.record_get(len(data))
+        return dict(resp.blobs)
+
+    def server_stats(self) -> dict:
+        """The server's live stats snapshot (cache, tenants, admission)."""
+        return self._request("stats").info
+
+    def ping(self) -> dict:
+        return self._request("ping").info
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteStorageProvider(dataset={self.dataset!r}, "
+            f"tenant={self.tenant!r})"
+        )

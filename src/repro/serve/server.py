@@ -1,0 +1,496 @@
+"""DatasetServer: the multi-tenant Tensor Streaming Server.
+
+One server hosts N datasets (each a storage backend) and answers protocol
+requests from many concurrent clients.  The design mirrors what turns a
+storage *format* into a serving *platform* (§5's streaming engine put
+behind a shared front door):
+
+- **Shared chunk cache** — one byte-budgeted LRU across all hosted
+  datasets and tenants, so a hot chunk fetched for tenant A is served
+  from memory to tenants B..Z.  Keys are namespaced ``dataset\\x00key``
+  through a mux provider so the existing :class:`LRUCache` (now
+  thread-safe) does the bookkeeping.
+- **Single-flight dedup** — concurrent requests for the same chunk join
+  one in-flight backend GET instead of issuing N; followers are counted
+  as *coalesced*.
+- **Request coalescing** — byte-range requests are served by caching the
+  *full* chunk once and slicing in memory, so a storm of sub-range reads
+  against an 8 MB chunk costs one backend GET (blobs larger than the
+  cache budget fall back to direct ranged reads).  ``get_many`` batches
+  several keys into one round trip.
+- **Admission control + per-tenant stats** — in-flight request limits per
+  tenant and globally; rejected requests fail fast with
+  :class:`~repro.exceptions.AdmissionError` rather than queueing without
+  bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.exceptions import (
+    AdmissionError,
+    KeyNotFound,
+    ServeError,
+    UnknownDatasetError,
+    UnknownServerError,
+)
+from repro.serve.protocol import OPS, Request, Response, error_response
+from repro.serve.transport import (
+    InprocTransport,
+    ThreadedTransport,
+    Transport,
+)
+from repro.storage.lru_cache import LRUCache
+from repro.storage.memory import MemoryProvider
+from repro.storage.provider import StorageProvider, clamp_range
+
+_SEP = "\x00"  # dataset/key namespace separator inside the shared cache
+
+DEFAULT_CACHE_BYTES = 128 * 1024 * 1024
+
+
+def _mux_key(dataset: str, key: str) -> str:
+    return f"{dataset}{_SEP}{key}"
+
+
+class _BackendMux(StorageProvider):
+    """Routes namespaced cache misses to the owning dataset's backend."""
+
+    def __init__(self, server: "DatasetServer"):
+        super().__init__()
+        self.server = server
+
+    def _split(self, key: str):
+        dataset, _, raw = key.partition(_SEP)
+        return self.server._backend(dataset), raw
+
+    def _get(self, key, start, end):
+        backend, raw = self._split(key)
+        return backend.get_bytes(raw, start, end)
+
+    def _set(self, key, value):
+        backend, raw = self._split(key)
+        backend[raw] = value
+
+    def _delete(self, key):
+        backend, raw = self._split(key)
+        del backend[raw]
+
+    def _all_keys(self):
+        keys = set()
+        for name, backend in self.server._datasets_snapshot().items():
+            keys |= {_mux_key(name, k) for k in backend._all_keys()}
+        return keys
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving counters (guarded by the server's stats lock)."""
+
+    requests: int = 0
+    rejected: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "coalesced": self.coalesced,
+        }
+
+
+class _Flight:
+    """One in-flight backend fetch that followers can join.
+
+    ``stale`` is set by a concurrent put/delete: the fetch started before
+    the write, so whatever it caches must be dropped once it lands.
+    """
+
+    __slots__ = ("event", "value", "exc", "stale")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: Optional[bytes] = None
+        self.exc: Optional[BaseException] = None
+        self.stale = False
+
+
+class DatasetServer:
+    """Hosts datasets behind the serve protocol (thread-safe)."""
+
+    def __init__(
+        self,
+        name: str = "local",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        max_inflight_per_tenant: int = 64,
+        max_inflight_total: int = 512,
+    ):
+        self.name = name
+        self._datasets: Dict[str, StorageProvider] = {}
+        self._datasets_lock = threading.Lock()
+        self.cache: Optional[LRUCache] = (
+            LRUCache(
+                MemoryProvider(f"{name}-serve-cache"),
+                _BackendMux(self),
+                cache_bytes,
+            )
+            if cache_bytes
+            else None
+        )
+        self.max_inflight_per_tenant = int(max_inflight_per_tenant)
+        self.max_inflight_total = int(max_inflight_total)
+        self._admission_lock = threading.Lock()
+        self._inflight_by_tenant: Dict[str, int] = {}
+        self._total_inflight = 0
+        self._stats_lock = threading.Lock()
+        self._tenants: Dict[str, TenantStats] = {}
+        self._flights: Dict[str, _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self._oversize: Set[str] = set()  # mux keys too big for the cache
+        self._transport: Optional[Transport] = None
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # hosting / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def add_dataset(
+        self, name: str, storage: Union[str, StorageProvider]
+    ) -> "DatasetServer":
+        """Host *storage* (provider or URL) under ``serve://<server>/<name>``."""
+        if isinstance(storage, str):
+            from repro.storage.router import storage_from_url
+
+            # the shared server cache is the caching tier; talk to the
+            # backend raw so request accounting stays truthful
+            storage = storage_from_url(storage, cache_bytes=0)
+        with self._datasets_lock:
+            if name in self._datasets:
+                raise ServeError(f"dataset {name!r} is already being served")
+            self._datasets[name] = storage
+        return self
+
+    def remove_dataset(self, name: str) -> None:
+        with self._datasets_lock:
+            self._datasets.pop(name, None)
+
+    def _backend(self, name: str) -> StorageProvider:
+        with self._datasets_lock:
+            try:
+                return self._datasets[name]
+            except KeyError:
+                raise UnknownDatasetError(
+                    f"server {self.name!r} does not host dataset {name!r}; "
+                    f"hosted: {sorted(self._datasets)}"
+                ) from None
+
+    def _datasets_snapshot(self) -> Dict[str, StorageProvider]:
+        with self._datasets_lock:
+            return dict(self._datasets)
+
+    def start(self, num_workers: int = 4) -> "DatasetServer":
+        """Register in the process-wide server registry and spin up the
+        threaded server loop (making ``serve://<name>/...`` resolvable)."""
+        if self._running:
+            return self
+        register_server(self)  # before spawning workers: a duplicate name
+        try:                   # must not leak a half-started transport
+            self._transport = ThreadedTransport(
+                self,
+                num_workers=num_workers,
+                max_pending=self.max_inflight_total,
+            )
+        except BaseException:
+            unregister_server(self)
+            raise
+        self._running = True
+        return self
+
+    def stop(self) -> None:
+        """Unregister and shut the server loop down, cancelling queued
+        requests (blocked clients get a ServeError, never a deadlock)."""
+        unregister_server(self)
+        self._running = False
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def __enter__(self) -> "DatasetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def connect(
+        self,
+        dataset: str,
+        tenant: str = "default",
+        transport: Optional[Transport] = None,
+    ):
+        """A :class:`RemoteStorageProvider` for one hosted dataset."""
+        from repro.serve.client import RemoteStorageProvider
+
+        if transport is None:
+            transport = self._transport or InprocTransport(self)
+        return RemoteStorageProvider(transport, dataset, tenant=tenant)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    def handle(self, req: Request) -> Response:
+        """Serve one request (safe to call from many threads)."""
+        tenant = self._tenant(req.tenant)
+        try:
+            self._admit(req.tenant)
+        except AdmissionError as e:
+            with self._stats_lock:
+                tenant.rejected += 1
+            return error_response(e)
+        try:
+            with self._stats_lock:
+                tenant.requests += 1
+            resp = self._dispatch(req, tenant)
+        except BaseException as e:  # noqa: BLE001 - errors go on the wire
+            resp = error_response(e)
+        finally:
+            self._release(req.tenant)
+        with self._stats_lock:
+            tenant.bytes_out += resp.nbytes()
+            tenant.bytes_in += req.nbytes()
+        return resp
+
+    def _dispatch(self, req: Request, tenant: TenantStats) -> Response:
+        if req.op == "get":
+            return Response(data=self._serve_get(req, tenant))
+        if req.op == "get_many":
+            blobs = {}
+            for key in req.keys:
+                sub = Request(op="get", tenant=req.tenant,
+                              dataset=req.dataset, key=key)
+                try:
+                    blobs[key] = self._serve_get(sub, tenant)
+                except KeyNotFound:
+                    continue  # batch semantics: return the keys that exist
+            return Response(blobs=blobs)
+        if req.op == "put":
+            backend = self._backend(req.dataset)
+            backend[req.key] = req.payload
+            self._invalidate(req.dataset, req.key)
+            return Response()
+        if req.op == "delete":
+            backend = self._backend(req.dataset)
+            del backend[req.key]
+            self._invalidate(req.dataset, req.key)
+            return Response()
+        if req.op == "keys":
+            backend = self._backend(req.dataset)
+            return Response(keys=tuple(backend.list_prefix("")))
+        if req.op == "flush":
+            self._backend(req.dataset).flush()
+            return Response()
+        if req.op == "stats":
+            return Response(info=self.stats_snapshot())
+        if req.op == "ping":
+            return Response(info={
+                "server": self.name,
+                "datasets": sorted(self._datasets_snapshot()),
+            })
+        raise ServeError(f"unknown op {req.op!r}; expected one of {OPS}")
+
+    # -- GET path ---------------------------------------------------------
+
+    def _serve_get(self, req: Request, tenant: TenantStats) -> bytes:
+        backend = self._backend(req.dataset)
+        mkey = _mux_key(req.dataset, req.key)
+        ranged = req.start is not None or req.end is not None
+        if self.cache is None or (ranged and mkey in self._oversize):
+            # no cache tier / known-oversize blob: direct (ranged) read
+            data = backend.get_bytes(req.key, req.start, req.end)
+            with self._stats_lock:
+                tenant.cache_misses += 1
+            return data
+        blob, outcome = self._full_blob(mkey)
+        with self._stats_lock:
+            if outcome == "hit":
+                tenant.cache_hits += 1
+            elif outcome == "coalesced":
+                tenant.cache_hits += 1
+                tenant.coalesced += 1
+            else:
+                tenant.cache_misses += 1
+        if not ranged:
+            return blob
+        s, e = clamp_range(len(blob), req.start, req.end)
+        return blob[s:e]
+
+    def _full_blob(self, mkey: str) -> tuple:
+        """Whole blob for *mkey* with single-flight miss deduplication.
+
+        Returns ``(blob, outcome)`` where outcome is ``"hit"`` (cache),
+        ``"coalesced"`` (joined another request's in-flight fetch) or
+        ``"miss"`` (this request paid the backend GET).
+        """
+        cache = self.cache
+        if cache.is_cached(mkey):
+            try:
+                return cache[mkey], "hit"
+            except KeyNotFound:
+                pass  # raced an eviction + backend delete; refetch below
+        with self._flight_lock:
+            flight = self._flights.get(mkey)
+            leader = flight is None
+            if leader:
+                flight = self._flights[mkey] = _Flight()
+        if not leader:
+            flight.event.wait()
+            if flight.stale:
+                # a write completed while that fetch was in flight; a get
+                # issued after the write ack must not see the old bytes
+                return self._full_blob(mkey)
+            if flight.exc is not None:
+                raise flight.exc
+            return flight.value, "coalesced"
+        try:
+            value = cache[mkey]  # miss path fetches from the backend mux
+            if len(value) > cache.cache_size:
+                self._oversize.add(mkey)
+            flight.value = value
+            return value, "miss"
+        except BaseException as e:
+            flight.exc = e
+            raise
+        finally:
+            with self._flight_lock:
+                self._flights.pop(mkey, None)
+                stale = flight.stale
+            if stale:
+                # a put/delete raced this fetch: the blob we just cached
+                # predates the write, so it must not be served again
+                cache.invalidate(mkey)
+            flight.event.set()
+
+    def _invalidate(self, dataset: str, key: str) -> None:
+        mkey = _mux_key(dataset, key)
+        self._oversize.discard(mkey)
+        with self._flight_lock:
+            flight = self._flights.get(mkey)
+            if flight is not None:
+                flight.stale = True
+        if self.cache is not None:
+            self.cache.invalidate(mkey)
+
+    # ------------------------------------------------------------------ #
+    # admission + stats
+    # ------------------------------------------------------------------ #
+
+    def _tenant(self, tenant: str) -> TenantStats:
+        with self._stats_lock:
+            if tenant not in self._tenants:
+                self._tenants[tenant] = TenantStats()
+            return self._tenants[tenant]
+
+    def _admit(self, tenant: str) -> None:
+        with self._admission_lock:
+            if self._total_inflight >= self.max_inflight_total:
+                raise AdmissionError(
+                    f"server {self.name!r} at global in-flight limit "
+                    f"({self.max_inflight_total})"
+                )
+            current = self._inflight_by_tenant.get(tenant, 0)
+            if current >= self.max_inflight_per_tenant:
+                raise AdmissionError(
+                    f"tenant {tenant!r} at in-flight limit "
+                    f"({self.max_inflight_per_tenant}) on server {self.name!r}"
+                )
+            self._inflight_by_tenant[tenant] = current + 1
+            self._total_inflight += 1
+
+    def _release(self, tenant: str) -> None:
+        with self._admission_lock:
+            self._inflight_by_tenant[tenant] -= 1
+            self._total_inflight -= 1
+
+    def stats_snapshot(self) -> dict:
+        with self._stats_lock:
+            tenants = {t: s.snapshot() for t, s in self._tenants.items()}
+        info = {
+            "server": self.name,
+            "datasets": sorted(self._datasets_snapshot()),
+            "tenants": tenants,
+        }
+        if self.cache is not None:
+            info["cache"] = {
+                "used_bytes": self.cache.cache_used,
+                "size_bytes": self.cache.cache_size,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_ratio": round(self.cache.hit_ratio, 4),
+            }
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetServer(name={self.name!r}, "
+            f"datasets={sorted(self._datasets_snapshot())}, "
+            f"running={self._running})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# process-wide server registry (what `serve://name/...` resolves against)
+# --------------------------------------------------------------------------- #
+
+_SERVERS: Dict[str, DatasetServer] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_server(server: DatasetServer) -> None:
+    with _REGISTRY_LOCK:
+        existing = _SERVERS.get(server.name)
+        if existing is not None and existing is not server:
+            raise ServeError(
+                f"a server named {server.name!r} is already running"
+            )
+        _SERVERS[server.name] = server
+
+
+def unregister_server(server: DatasetServer) -> None:
+    with _REGISTRY_LOCK:
+        if _SERVERS.get(server.name) is server:
+            del _SERVERS[server.name]
+
+
+def get_server(name: str) -> DatasetServer:
+    with _REGISTRY_LOCK:
+        try:
+            return _SERVERS[name]
+        except KeyError:
+            running: List[str] = sorted(_SERVERS)
+            raise UnknownServerError(
+                f"no running server named {name!r}; running servers: "
+                f"{running or 'none'} (start one with repro.serve(...))"
+            ) from None
+
+
+def clear_servers() -> None:
+    """Test hook: stop and forget every running server."""
+    with _REGISTRY_LOCK:
+        servers = list(_SERVERS.values())
+        _SERVERS.clear()
+    for server in servers:
+        server._running = False
+        if server._transport is not None:
+            server._transport.close()
+            server._transport = None

@@ -13,11 +13,19 @@ MinIO deployment.  This package provides the synthetic equivalents:
   accounting (Fig 9/10 utilization curves).
 - :class:`TrainingPipelineSim` — analytic overlapped-pipeline model for the
   three cloud access modes of Fig 9 (File Mode, Fast File Mode, streaming).
+- :func:`run_concurrent_clients` — traffic generator: many simultaneous
+  simulated clients against a serving tier, with per-client/aggregate
+  throughput reporting (serving benchmarks).
 """
 
 from repro.sim.clock import SimClock
 from repro.sim.network import NetworkModel, NETWORK_PRESETS, FlakyNetwork
 from repro.sim.gpu import GPUModel, UtilizationTrace
+from repro.sim.traffic import (
+    ClientResult,
+    TrafficReport,
+    run_concurrent_clients,
+)
 from repro.sim.training import (
     AccessMode,
     TrainingPipelineSim,
@@ -34,4 +42,7 @@ __all__ = [
     "AccessMode",
     "TrainingPipelineSim",
     "TrainingRunResult",
+    "ClientResult",
+    "TrafficReport",
+    "run_concurrent_clients",
 ]

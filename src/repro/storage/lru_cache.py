@@ -14,10 +14,28 @@ Policies
 - Writes go to the cache and are tracked dirty; ``write_through=True``
   (default) also pushes downstream immediately, otherwise :meth:`flush`
   pushes all dirty keys (write-back).
+
+Concurrency
+-----------
+All bookkeeping (`_order`, `_dirty`, byte accounting, hit/miss counters)
+is guarded by one re-entrant lock, so many reader threads — dataloader
+prefetch workers, the Tensor Streaming Server's request handlers — can
+share a single cache.  A *miss* releases the lock while fetching from the
+slow downstream provider so concurrent hits (and misses on other keys)
+proceed in parallel; if two threads race the same miss, both fetch and
+one insert wins (the server layer adds single-flight dedup on top when
+the duplicate fetch itself is too expensive).  A write generation counter
+keeps a fetch that was in flight across a set/delete/invalidate from
+installing stale bytes.  Downstream writers (write-through set, delete,
+flush write-backs) do their slow I/O outside the bookkeeping lock too;
+the one deliberate exception is write-back mode's dirty handling during
+eviction/invalidate, which stays under the lock so a thread's own dirty
+write can never be observed rolled back mid-write-back.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Set
 
@@ -42,12 +60,22 @@ class LRUCache(StorageProvider):
         self.write_through = write_through
         self._order: "OrderedDict[str, int]" = OrderedDict()  # key -> nbytes
         self._dirty: Set[str] = set()
+        self._lock = threading.RLock()
+        # serializes downstream writers (write-through set, delete) with
+        # each other — a set/delete interleaving must not leave the cache
+        # tier and downstream disagreeing — while keeping their slow
+        # downstream I/O outside _lock, so reader hits don't stall
+        self._write_lock = threading.Lock()
+        # bumped by every set/delete/invalidate: a miss fetch that was in
+        # flight across any write must not install its (possibly stale)
+        # blob, else a deleted/overwritten key can resurrect in the cache
+        self._gen = 0
         self.cache_used = 0
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------ #
-    # internals
+    # internals (call with self._lock held)
     # ------------------------------------------------------------------ #
 
     def _touch(self, key: str) -> None:
@@ -86,63 +114,115 @@ class LRUCache(StorageProvider):
     # ------------------------------------------------------------------ #
 
     def _get(self, key: str, start: Optional[int], end: Optional[int]) -> bytes:
-        if key in self._order:
-            self.hits += 1
-            self._touch(key)
-            blob = self.cache_storage._get(key, None, None)
-            if start is None and end is None:
-                return blob
-            s, e = clamp_range(len(blob), start, end)
-            return blob[s:e]
-        self.misses += 1
+        with self._lock:
+            if key in self._order:
+                self.hits += 1
+                self._touch(key)
+                blob = self.cache_storage._get(key, None, None)
+                if start is None and end is None:
+                    return blob
+                s, e = clamp_range(len(blob), start, end)
+                return blob[s:e]
+            self.misses += 1
+            gen = self._gen
+        # Miss: fetch downstream without holding the lock so hits (and
+        # misses on other keys) are not serialized behind slow I/O.
         if start is not None or end is not None:
             # ranged miss: pass through, do not pollute the cache
             return self.next_storage.get_bytes(key, start, end)
         value = self.next_storage[key]
-        self._insert(key, value, dirty=False)
+        with self._lock:
+            if key not in self._order and self._gen == gen:
+                self._insert(key, value, dirty=False)
         return value
 
     def _set(self, key: str, value: bytes) -> None:
         if self.write_through:
-            self.next_storage[key] = value
-            self._insert(key, value, dirty=False)
+            with self._write_lock:
+                self.next_storage[key] = value
+                with self._lock:
+                    self._gen += 1
+                    self._insert(key, value, dirty=False)
         else:
-            self._insert(key, value, dirty=True)
-            if len(value) > self.cache_size:
-                return  # _insert already forwarded oversize blobs
+            with self._lock:
+                self._gen += 1
+                self._insert(key, value, dirty=True)
 
     def _delete(self, key: str) -> None:
-        found = False
-        if key in self._order:
-            self.cache_used -= self._order.pop(key)
-            self.cache_storage._delete(key)
-            self._dirty.discard(key)
-            found = True
-        try:
-            del self.next_storage[key]
-            found = True
-        except KeyError:
-            pass
+        # bookkeeping under _lock, downstream delete outside it (readers
+        # don't stall); _write_lock keeps it ordered against write-through
+        # sets; the generation bump stops any in-flight miss fetch from
+        # refilling the cache with the blob being deleted (resurrection)
+        with self._write_lock:
+            with self._lock:
+                self._gen += 1
+                found = key in self._order
+                if found:
+                    self.cache_used -= self._order.pop(key)
+                    self.cache_storage._delete(key)
+                    self._dirty.discard(key)
+            try:
+                del self.next_storage[key]
+                found = True
+            except KeyError:
+                pass
         if not found:
             raise KeyNotFound(key)
 
     def _all_keys(self) -> Set[str]:
-        return set(self._order) | self.next_storage._all_keys()
+        with self._lock:
+            cached = set(self._order)
+        return cached | self.next_storage._all_keys()
+
+    def is_cached(self, key: str) -> bool:
+        """True when *key* is resident in the cache tier (no downstream I/O)."""
+        with self._lock:
+            return key in self._order
+
+    def invalidate(self, key: str) -> bool:
+        """Drop *key* from the cache tier only (downstream untouched).
+
+        Dirty entries are written back first.  Returns True if the key was
+        cached.  Used by the serving tier after an out-of-band write makes
+        a cached blob stale.
+        """
+        with self._lock:
+            self._gen += 1  # suppress in-flight miss inserts of old bytes
+            if key not in self._order:
+                return False
+            if key in self._dirty:
+                self.next_storage[key] = self.cache_storage._get(key, None, None)
+                self._dirty.discard(key)
+            self.cache_used -= self._order.pop(key)
+            self.cache_storage._delete(key)
+            return True
 
     def flush(self) -> None:
-        """Write back all dirty keys, then flush downstream."""
-        for key in sorted(self._dirty):
-            self.next_storage[key] = self.cache_storage._get(key, None, None)
-        self._dirty.clear()
+        """Write back all dirty keys, then flush downstream.
+
+        The dirty set is snapshotted under the lock but the downstream
+        writes happen outside it, so concurrent reader hits don't stall
+        behind a bulk write-back.  (A key evicted mid-flush is written at
+        most twice with the same bytes — harmless.)
+        """
+        with self._lock:
+            pending = [
+                (key, self.cache_storage._get(key, None, None))
+                for key in sorted(self._dirty)
+            ]
+            self._dirty.clear()
+        for key, value in pending:
+            self.next_storage[key] = value
         self.next_storage.flush()
 
     def clear_cache(self) -> None:
         """Drop the cache tier (flushing dirty keys first)."""
         self.flush()
-        for key in list(self._order):
-            self.cache_storage._delete(key)
-        self._order.clear()
-        self.cache_used = 0
+        with self._lock:
+            for key in list(self._order):
+                self.cache_storage._delete(key)
+            self._order.clear()
+            self.cache_used = 0
 
     @property
     def hit_ratio(self) -> float:

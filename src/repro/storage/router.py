@@ -7,13 +7,17 @@ Supported schemes::
     s3-sim://bucket/prefix      simulated S3
     gcs-sim://bucket/prefix     simulated GCS
     minio-sim://bucket/prefix   simulated LAN MinIO
+    serve://[tenant@]srv/name   dataset hosted by a running DatasetServer
 
 Simulated buckets are process-global so that "remote" datasets persist
 across dataset open/close within one process (like a real bucket would).
+A URL with an unrecognised ``scheme://`` raises ``ValueError`` instead of
+being silently treated as a local path.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Dict, Tuple
 
@@ -29,6 +33,30 @@ _MEM: Dict[str, MemoryProvider] = {}
 _LOCK = threading.Lock()
 
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+SUPPORTED_SCHEMES = (
+    "mem://", "file://", "s3-sim://", "gcs-sim://", "minio-sim://",
+    "serve://",
+)
+
+_SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*)://")
+
+
+def _serve_provider(url: str) -> StorageProvider:
+    """Resolve ``serve://[tenant@]server/dataset`` against the registry."""
+    from repro.serve.server import get_server
+
+    rest = url[len("serve://"):]
+    tenant = "default"
+    if "@" in rest.split("/", 1)[0]:
+        tenant, rest = rest.split("@", 1)
+    server_name, _, dataset = rest.partition("/")
+    if not server_name or not dataset:
+        raise ValueError(
+            f"bad serve URL {url!r}: expected "
+            "serve://[tenant@]<server>/<dataset>"
+        )
+    return get_server(server_name).connect(dataset, tenant=tenant)
 
 
 def _global_bucket(kind: str, bucket: str) -> MemoryProvider:
@@ -79,7 +107,9 @@ def storage_from_url(
 ) -> StorageProvider:
     """Resolve *url* to a provider; remote schemes get an LRU memory cache.
 
-    ``cache_bytes=0`` disables caching for remote stores.
+    ``cache_bytes=0`` disables caching for remote stores.  ``serve://``
+    resolves uncached by default (the server holds the shared cache);
+    pass ``cache_bytes`` explicitly to add a client-side LRU.
     """
     if url.startswith("mem://"):
         name = url[len("mem://"):]
@@ -87,11 +117,25 @@ def storage_from_url(
             if name not in _MEM:
                 _MEM[name] = MemoryProvider(name)
             return _MEM[name]
+    if url.startswith("serve://"):
+        remote = _serve_provider(url)
+        # no client cache by default: the serving tier IS the shared
+        # cache, and a client-side LRU would serve stale blobs after
+        # another tenant writes (no invalidation protocol).  Callers that
+        # accept staleness can opt in with cache_bytes.
+        if cache_bytes:
+            remote = LRUCache(MemoryProvider("cache"), remote, cache_bytes)
+        return remote
     for scheme, kind in (("s3-sim://", "s3"), ("gcs-sim://", "gcs"),
                          ("minio-sim://", "minio")):
         if url.startswith(scheme):
             rest = url[len(scheme):]
             bucket, _, prefix = rest.partition("/")
+            if not bucket:
+                raise ValueError(
+                    f"bad object-store URL {url!r}: expected "
+                    f"{scheme}<bucket>[/prefix]"
+                )
             backing = _global_bucket(kind, bucket)
             store: StorageProvider = make_object_store(
                 kind, clock=clock, backing=backing
@@ -104,4 +148,11 @@ def storage_from_url(
             return store
     if url.startswith("file://"):
         return LocalProvider(url[len("file://"):])
+    m = _SCHEME_RE.match(url)
+    if m:
+        raise ValueError(
+            f"unsupported storage scheme {m.group(1)!r} in {url!r}; "
+            f"expected one of {', '.join(SUPPORTED_SCHEMES)} or a plain "
+            "filesystem path"
+        )
     return LocalProvider(url)

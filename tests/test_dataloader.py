@@ -119,6 +119,100 @@ class TestPrefetch:
         assert order == [3.0, 2.0, 1.0]
 
 
+class TestFuture:
+    def test_double_set_result_first_wins(self):
+        from repro.dataloader.prefetch import Future
+
+        f = Future()
+        assert f.set_result(1) is True
+        assert f.set_result(2) is False
+        assert f.set_exception(ValueError("late")) is False
+        assert f.result() == 1
+
+    def test_set_result_after_exception_ignored(self):
+        from repro.dataloader.prefetch import Future
+
+        f = Future()
+        assert f.set_exception(ValueError("boom")) is True
+        assert f.set_result(1) is False
+        with pytest.raises(ValueError):
+            f.result()
+
+    def test_cancel_wakes_waiter(self):
+        import threading
+        from repro.dataloader.prefetch import Future
+        from repro.exceptions import TaskCancelledError
+
+        f = Future()
+        outcome = []
+
+        def waiter():
+            try:
+                outcome.append(f.result(timeout=5))
+            except TaskCancelledError as e:
+                outcome.append(e)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        assert f.cancel() is True
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert isinstance(outcome[0], TaskCancelledError)
+        assert f.cancelled() and f.done()
+
+    def test_cancel_after_result_is_noop(self):
+        from repro.dataloader.prefetch import Future
+
+        f = Future()
+        f.set_result(42)
+        assert f.cancel() is False
+        assert not f.cancelled()
+        assert f.result() == 42
+
+    def test_shutdown_cancels_pending_tasks(self):
+        import threading
+        from repro.dataloader import PriorityWorkerPool
+        from repro.exceptions import TaskCancelledError
+
+        pool = PriorityWorkerPool(1)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            return gate.wait(5)
+
+        running = pool.submit(0, blocker)
+        pending = [pool.submit(0, lambda: 1) for _ in range(4)]
+        assert started.wait(5)  # the worker is busy inside `running`
+        gate.set()
+        pool.shutdown()  # cancels whatever never started
+        assert running.result(timeout=5) is True
+        for f in pending:
+            assert f.done(), "shutdown left a waiter to deadlock"
+            if f.cancelled():
+                with pytest.raises(TaskCancelledError):
+                    f.result(timeout=1)
+            else:
+                assert f.result(timeout=1) == 1
+
+    def test_shutdown_without_cancel_drains_heap(self):
+        from repro.dataloader import PriorityWorkerPool
+
+        pool = PriorityWorkerPool(2)
+        futures = [pool.submit(0, lambda i=i: i * i) for i in range(10)]
+        pool.shutdown(cancel_pending=False)
+        assert [f.result(timeout=5) for f in futures] == [
+            i * i for i in range(10)
+        ]
+
+    def test_early_consumer_exit_does_not_hang(self):
+        stream = prefetched(list(range(100)), lambda i: i,
+                            num_workers=2, inflight_limit=8)
+        assert next(stream) == 0
+        stream.close()  # triggers shutdown with pending futures
+
+
 class TestCollate:
     def test_default_stacks_uniform(self):
         batch = default_collate([

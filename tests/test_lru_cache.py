@@ -108,6 +108,140 @@ class TestLRUBasics:
         assert cache.hit_ratio == pytest.approx(2 / 3)
 
 
+class TestLRUConcurrency:
+    def test_eight_threads_hammer_one_cache(self):
+        """Serve-path prerequisite: one cache shared by many reader threads
+        keeps its bookkeeping consistent under contention."""
+        import threading
+
+        nxt = MemoryProvider("next")
+        truth = {f"k{i}": bytes([i]) * (20 + i) for i in range(24)}
+        for key, value in truth.items():
+            nxt[key] = value
+        cache = LRUCache(MemoryProvider("cache"), nxt, 200)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            keys = list(truth)
+            barrier.wait()
+            try:
+                for step in range(400):
+                    key = keys[rng.integers(len(keys))]
+                    if step % 10 == 9:
+                        assert cache.get_bytes(key, 2, 7) == truth[key][2:7]
+                    else:
+                        assert cache[key] == truth[key]
+            except BaseException as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors
+        assert cache.cache_used <= 200
+        assert cache.cache_used == sum(cache._order.values())
+        assert set(cache._order) <= set(truth)
+        assert cache.hits + cache.misses >= 8 * 400
+
+    def test_concurrent_readers_and_writers(self):
+        import threading
+
+        nxt = MemoryProvider("next")
+        cache = LRUCache(MemoryProvider("cache"), nxt, 500,
+                         write_through=False)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            rng = np.random.default_rng(tid)
+            barrier.wait()
+            try:
+                for step in range(200):
+                    key = f"k{rng.integers(10)}"
+                    if step % 3 == 0:
+                        cache[key] = bytes([tid]) * int(rng.integers(1, 60))
+                    else:
+                        try:
+                            data = cache[key]
+                            assert 1 <= len(data) < 60
+                        except KeyError:
+                            pass
+            except BaseException as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert cache.cache_used <= 500
+        assert cache.cache_used == sum(cache._order.values())
+        cache.flush()  # write-back completes without corruption
+        for key in cache._all_keys():
+            assert len(cache[key]) >= 1
+
+    def test_delete_racing_miss_does_not_resurrect(self):
+        """A miss fetch in flight across a delete must not reinstall the
+        deleted blob in the cache."""
+        import threading
+
+        nxt = MemoryProvider("next")
+        nxt["k"] = b"v1"
+        cache = LRUCache(MemoryProvider("cache"), nxt, 1000)
+        in_fetch = threading.Event()
+        release = threading.Event()
+        orig_get = nxt._get
+
+        def gated_get(key, start, end):
+            data = orig_get(key, start, end)
+            in_fetch.set()
+            release.wait(5)
+            return data
+
+        nxt._get = gated_get
+        result = []
+        t = threading.Thread(target=lambda: result.append(cache["k"]))
+        t.start()
+        assert in_fetch.wait(5)
+        nxt._get = orig_get
+        del cache["k"]  # completes while the miss fetch is still in flight
+        release.set()
+        t.join(5)
+        assert result == [b"v1"]  # the concurrent read may see the old blob
+        assert not cache.is_cached("k")  # ...but it must not stick around
+        with pytest.raises(KeyError):
+            cache["k"]
+
+    def test_is_cached_and_invalidate(self):
+        cache, nxt = make_cache()
+        nxt["k"] = b"value"
+        assert not cache.is_cached("k")
+        _ = cache["k"]
+        assert cache.is_cached("k")
+        assert cache.invalidate("k") is True
+        assert not cache.is_cached("k")
+        assert cache.invalidate("k") is False
+        assert nxt["k"] == b"value"  # downstream untouched
+        assert cache["k"] == b"value"  # refetches
+
+    def test_invalidate_writes_back_dirty(self):
+        cache, nxt = make_cache(write_through=False)
+        cache["k"] = b"dirty"
+        assert "k" not in nxt
+        cache.invalidate("k")
+        assert nxt["k"] == b"dirty"
+
+
 class TestLRUInvariants:
     @given(
         ops=st.lists(

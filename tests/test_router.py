@@ -1,0 +1,131 @@
+"""storage_from_url scheme routing: every supported scheme, cache
+wrapping policy, and the error messages for malformed/unknown URLs."""
+
+import pytest
+
+import repro
+from repro.exceptions import UnknownServerError
+from repro.serve import DatasetServer, RemoteStorageProvider, clear_servers
+from repro.storage import (
+    LocalProvider,
+    LRUCache,
+    MemoryProvider,
+    PrefixedProvider,
+    SimulatedObjectStore,
+    storage_from_url,
+)
+from repro.storage.router import SUPPORTED_SCHEMES
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_servers():
+    clear_servers()
+    yield
+    clear_servers()
+
+
+def unwrap(provider):
+    """Peel LRU cache tiers off a routed provider."""
+    while isinstance(provider, LRUCache):
+        provider = provider.next_storage
+    return provider
+
+
+class TestSchemeRouting:
+    def test_mem_scheme_shares_by_name(self):
+        a = storage_from_url("mem://routed")
+        a["k"] = b"v"
+        assert storage_from_url("mem://routed") is a
+        assert isinstance(a, MemoryProvider)
+
+    def test_file_scheme_and_plain_path(self, tmp_path):
+        for url in (f"file://{tmp_path}/x", str(tmp_path / "y")):
+            assert isinstance(storage_from_url(url), LocalProvider)
+
+    @pytest.mark.parametrize("scheme,kind", [
+        ("s3-sim", "s3"), ("gcs-sim", "gcs"), ("minio-sim", "minio"),
+    ])
+    def test_object_store_schemes(self, scheme, kind):
+        p = unwrap(storage_from_url(f"{scheme}://bkt/pfx"))
+        assert isinstance(p, PrefixedProvider)
+        assert isinstance(p.base, SimulatedObjectStore)
+        assert p.base.name == kind
+
+    def test_bucket_root_has_no_prefix_wrapper(self):
+        p = unwrap(storage_from_url("s3-sim://bkt"))
+        assert isinstance(p, SimulatedObjectStore)
+
+    def test_remote_schemes_cached_by_default(self):
+        assert isinstance(storage_from_url("s3-sim://bkt/ds"), LRUCache)
+        assert isinstance(
+            storage_from_url("s3-sim://bkt/ds", cache_bytes=0),
+            PrefixedProvider,
+        )
+
+    def test_serve_scheme_routes_to_running_server(self):
+        backing = MemoryProvider("bkt")
+        backing["k"] = b"v"
+        server = DatasetServer(name="router-srv")
+        server.add_dataset("ds", backing)
+        with server:
+            p = storage_from_url("serve://router-srv/ds")
+            # uncached by default: the serving tier is the shared cache,
+            # and a client LRU would go stale on other tenants' writes
+            assert isinstance(p, RemoteStorageProvider)
+            assert p.tenant == "default"
+            assert p["k"] == b"v"
+            cached = storage_from_url("serve://router-srv/ds",
+                                      cache_bytes=1 << 20)
+            assert isinstance(cached, LRUCache)
+            assert isinstance(cached.next_storage, RemoteStorageProvider)
+
+    def test_serve_scheme_parses_tenant(self):
+        server = DatasetServer(name="router-srv")
+        server.add_dataset("ds", MemoryProvider("bkt"))
+        with server:
+            p = storage_from_url("serve://alice@router-srv/ds",
+                                 cache_bytes=0)
+            assert p.tenant == "alice"
+            assert p.dataset == "ds"
+
+
+class TestBadUrls:
+    def test_unknown_scheme_raises_with_supported_list(self):
+        with pytest.raises(ValueError) as e:
+            storage_from_url("s3://real-bucket/ds")
+        msg = str(e.value)
+        assert "s3" in msg
+        for scheme in SUPPORTED_SCHEMES:
+            assert scheme in msg
+
+    @pytest.mark.parametrize("url", [
+        "gs://bucket/x", "http://example.com/ds", "azure://c/ds",
+    ])
+    def test_other_unknown_schemes_rejected(self, url):
+        with pytest.raises(ValueError, match="unsupported storage scheme"):
+            storage_from_url(url)
+
+    def test_object_store_url_without_bucket(self):
+        with pytest.raises(ValueError, match="expected s3-sim://<bucket>"):
+            storage_from_url("s3-sim://")
+
+    @pytest.mark.parametrize("url", [
+        "serve://", "serve://only-server", "serve://srv/",
+    ])
+    def test_serve_url_missing_parts(self, url):
+        with pytest.raises(ValueError,
+                           match=r"serve://\[tenant@\]<server>/<dataset>"):
+            storage_from_url(url)
+
+    def test_serve_unknown_server_lists_running(self):
+        running = DatasetServer(name="visible")
+        running.add_dataset("ds", MemoryProvider("m"))
+        with running:
+            with pytest.raises(UnknownServerError) as e:
+                storage_from_url("serve://ghost/ds")
+        msg = str(e.value)
+        assert "ghost" in msg and "visible" in msg
+
+    def test_api_load_propagates_router_errors(self):
+        with pytest.raises(ValueError, match="unsupported storage scheme"):
+            repro.load("hdfs://cluster/ds")
