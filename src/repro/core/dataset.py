@@ -449,6 +449,61 @@ class Dataset:
             self._append_with_id(name, engine.empty_sample())
             engine.pad_enc.pad(engine.num_samples - 1)
 
+    def read_rows(
+        self,
+        rows: Sequence[int],
+        tensors: Optional[Sequence[str]] = None,
+        decode: bool = True,
+        aslist: bool = False,
+        physical: bool = False,
+    ) -> Dict[str, List]:
+        """Batched read of many rows across tensors: ``{name: [value, ...]}``.
+
+        One :class:`~repro.core.chunk_engine.ReadPlan` per tensor — every
+        chunk is fetched and decompressed once no matter how many of the
+        requested rows it holds.  This is the read path shared by the
+        dataloader's worker groups, TQL column scans, and the streaming
+        server's ``read_batch`` op.
+
+        ``rows`` are positions of this view by default; ``physical=True``
+        treats them as raw sample indices of the underlying tensors (what
+        the dataloader's chunk-aware order plan produces).  ``decode=False``
+        returns stored payload bytes instead of decoded arrays.
+        """
+        names = list(tensors) if tensors is not None else list(self.tensors)
+        out: Dict[str, List] = {}
+        row_list = list(rows)
+        bases: Dict[int, Sequence[int]] = {}  # engine length -> selection
+        for name in names:
+            # same resolution order as __getitem__: the group-qualified
+            # name wins over a root tensor that shadows the short name
+            qualified = self._qualify(name)
+            if qualified not in self._meta.tensors:
+                qualified = name
+            engine = self._engine(qualified)
+            if physical:
+                engine_rows = row_list
+            else:
+                length = engine.num_samples
+                base = bases.get(length)
+                if base is None:
+                    # a range for slice views: no O(length) materialisation
+                    base = bases[length] = self.index.row_sequence(length)
+                engine_rows = [base[int(r)] for r in row_list]
+            values = engine.read_batch(
+                engine_rows, aslist=aslist, decode=decode
+            )
+            if not physical and decode and self.index.sub_entries:
+                # view semantics match Tensor.numpy: sample sub-indexing
+                # (ds[rows, 10:20, ...]) applies to every decoded array
+                values = [
+                    self.index.apply_sub(v) if isinstance(v, np.ndarray)
+                    else v
+                    for v in values
+                ]
+            out[name] = values
+        return out
+
     def __iter__(self):
         for i in range(len(self)):
             yield self[i]

@@ -57,7 +57,21 @@ class Index:
             out.append(i)
         return out
 
+    def row_sequence(self, length: int) -> Sequence[int]:
+        """Indexable sample selection without materialisation where
+        possible: slice entries come back as a ``range`` (O(1) lookup and
+        no allocation), so translating a handful of view rows against a
+        huge tensor stays cheap.  Other entries fall back to
+        :meth:`row_indices`."""
+        entry = self.entries[0]
+        if isinstance(entry, slice):
+            return range(*entry.indices(length))
+        return self.row_indices(length)
+
     def num_rows(self, length: int) -> int:
+        entry = self.entries[0]
+        if isinstance(entry, slice):
+            return len(range(*entry.indices(length)))
         return len(self.row_indices(length))
 
     # ------------------------------------------------------------------ #

@@ -133,9 +133,9 @@ class Tensor:
         """
         engine = self.engine
         rows = self.index.row_indices(engine.num_samples)
+        # one ReadPlan for the whole view: chunks fetched/decoded once
         samples = []
-        for i in rows:
-            sample = engine.read_sample(i)
+        for sample in engine.read_batch(rows):
             if isinstance(sample, np.ndarray):
                 sample = self.index.apply_sub(sample)
             samples.append(sample)
@@ -173,12 +173,12 @@ class Tensor:
         return self.data()
 
     def shapes(self) -> List[Tuple[int, ...]]:
-        """Per-sample shapes of the view (no payload decode where possible)."""
+        """Per-sample shapes of the view (no payload decode where possible,
+        one header read per chunk)."""
         engine = self.engine
-        return [
-            engine.read_shape(i)
-            for i in self.index.row_indices(engine.num_samples)
-        ]
+        return engine.read_shapes_batch(
+            self.index.row_indices(engine.num_samples)
+        )
 
     def sample_ids(self) -> Optional[List[int]]:
         """Stable ids of the view's rows (None if id tracking is off)."""
@@ -186,10 +186,8 @@ class Tensor:
         if not id_name:
             return None
         id_engine = self.dataset._engine(id_name)
-        return [
-            int(id_engine.read_sample(i)[()])
-            for i in self.index.row_indices(self.engine.num_samples)
-        ]
+        rows = self.index.row_indices(self.engine.num_samples)
+        return [int(arr[()]) for arr in id_engine.read_batch(rows)]
 
     # ------------------------------------------------------------------ #
 

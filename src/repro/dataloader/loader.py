@@ -1,10 +1,13 @@
 """DeepLakeLoader: the streaming dataloader of §4.6.
 
-Pipeline per sample: order plan -> prefetch workers (fetch + decompress,
-GIL released in codecs) -> user transform -> collate -> framework
-handover.  Statistics record wall time spent waiting on data vs total so
-benchmarks can report loader stall (the complement of GPU utilization in
-the training sims).
+Pipeline per group: order plan -> prefetch workers (one
+:class:`~repro.core.chunk_engine.ReadPlan` per worker group: fetch each
+chunk once, decompress once, slice all samples; codecs release the GIL)
+-> user transform -> collate -> framework handover.  Statistics record
+wall time spent waiting on data vs total so benchmarks can report loader
+stall (the complement of GPU utilization in the training sims), plus the
+decoded-chunk cache hit/miss counts that make chunk-granular batching
+observable.
 """
 
 from __future__ import annotations
@@ -21,7 +24,11 @@ from repro.dataloader.order import (
     sequential_order,
     shard_for_rank,
 )
-from repro.dataloader.prefetch import compute_inflight_limit, prefetched
+from repro.dataloader.prefetch import (
+    compute_inflight_limit,
+    group_indices,
+    prefetched,
+)
 from repro.exceptions import DataLoaderError
 from repro.integrations.frameworks import to_backend
 
@@ -35,6 +42,8 @@ class LoaderStats:
         self.wait_s = 0.0
         self.total_s = 0.0
         self.transform_s = 0.0
+        self.chunk_cache_hits = 0
+        self.chunk_cache_misses = 0
 
     @property
     def samples_per_second(self) -> float:
@@ -51,6 +60,8 @@ class LoaderStats:
             "samples_per_s": round(self.samples_per_second, 1),
             "stall_fraction": round(self.stall_fraction, 4),
             "total_s": round(self.total_s, 4),
+            "chunk_cache_hits": self.chunk_cache_hits,
+            "chunk_cache_misses": self.chunk_cache_misses,
         }
 
 
@@ -75,6 +86,7 @@ class DeepLakeLoader:
         seed: Optional[int] = None,
         distributed: Optional[Tuple[int, int]] = None,  # (rank, world)
         decode: bool = True,
+        batched: bool = True,
     ):
         self.dataset = dataset
         self.batch_size = int(batch_size)
@@ -98,6 +110,9 @@ class DeepLakeLoader:
         self.seed = seed
         self.distributed = distributed
         self.decode = decode
+        #: ``False`` falls back to one read_sample per row — kept for the
+        #: batched-vs-per-sample benchmark and as an escape hatch
+        self.batched = batched
         self.stats = LoaderStats()
 
     # ------------------------------------------------------------------ #
@@ -153,6 +168,7 @@ class DeepLakeLoader:
         return rows
 
     def _fetch(self, row: int) -> Dict:
+        """Per-sample fallback path (``batched=False``)."""
         ds = self.dataset
         out: Dict[str, object] = {}
         for short, name in zip(self.tensor_names, self._qualified()):
@@ -162,32 +178,49 @@ class DeepLakeLoader:
                 # consumed next and the decoded chunk caches
                 value = engine.read_sample(row, prefer_full=True)
             else:
-                raw, _shape = engine._read_flat_bytes(row)
+                raw = engine.read_raw(row)
                 value = np.frombuffer(raw, dtype=np.uint8)
             out[short] = value
+        return self._transformed(out)
+
+    def _transformed(self, sample: Dict) -> Dict:
         if self.transform is not None:
             t0 = time.perf_counter()
-            out = self.transform(out)
+            sample = self.transform(sample)
             self.stats.transform_s += time.perf_counter() - t0
-        return out
+        return sample
 
-    def _priority(self, row: int) -> float:
-        """CPU-cost estimate: bigger decoded samples cost more, so the
-        smart scheduler starts them first.
+    def _make_priority_fn(self) -> Callable[[Tuple[int, ...]], float]:
+        """CPU-cost estimate per group: bigger decoded samples cost more,
+        so the smart scheduler starts them first.
 
-        Uniform tensors get a constant estimate (cheap); only genuinely
-        ragged tensors pay a per-row shape lookup (header metadata, no
-        payload decode).
+        Uniform tensors get a constant estimate (no I/O at all).  Ragged
+        tensors answer lazily — only groups actually submitted within the
+        prefetch window are looked up — through
+        :meth:`~repro.core.chunk_engine.ChunkEngine.read_shapes_batch`,
+        whose per-chunk header cache keeps the whole epoch at one tiny
+        metadata read per *chunk*, never per row.
         """
         engine = self._dominant_engine()
         interval = engine.meta.shape_interval
         if interval.is_uniform or engine.meta.is_link:
-            return float(engine.meta.max_sample_nbytes)
-        try:
-            shape = engine.read_shape(row)
-        except Exception:  # noqa: BLE001 - priority is best-effort
-            return 0.0
-        return float(np.prod(shape)) if shape else 0.0
+            const = float(engine.meta.max_sample_nbytes)
+            return lambda group: const
+        memo: Dict[int, float] = {}
+
+        def priority(group: Tuple[int, ...]) -> float:
+            row = group[0]
+            value = memo.get(row)
+            if value is None:
+                try:
+                    shape = engine.read_shapes_batch([row])[0]
+                    value = float(np.prod(shape)) if shape else 0.0
+                except Exception:  # noqa: BLE001 - priority is best-effort
+                    value = 0.0
+                memo[row] = value
+            return value
+
+        return priority
 
     # ------------------------------------------------------------------ #
 
@@ -198,7 +231,33 @@ class DeepLakeLoader:
         return -(-rows // self.batch_size)
 
     def _fetch_group(self, rows: Tuple[int, ...]) -> List[Dict]:
-        return [self._fetch(row) for row in rows]
+        """Fetch one worker group of samples.
+
+        The batched path issues a single ReadPlan for the whole group:
+        every chunk the group touches is fetched and decompressed exactly
+        once, then all samples are sliced out — instead of ``len(rows)``
+        independent per-sample reads.
+        """
+        if not self.batched or len(rows) == 1:
+            # single-row groups (batch_size=1 / tight memory budget) keep
+            # the streaming per-sample path: whole-chunk fetch + cache
+            return [self._fetch(row) for row in rows]
+        columns = self.dataset.read_rows(
+            rows, self.tensor_names, decode=self.decode, physical=True
+        )
+        out = []
+        for j in range(len(rows)):
+            sample: Dict[str, object] = {}
+            for short in self.tensor_names:
+                value = columns[short][j]
+                if not self.decode and isinstance(value, (bytes, bytearray)):
+                    value = np.frombuffer(value, dtype=np.uint8)
+                sample[short] = value
+            out.append(self._transformed(sample))
+        return out
+
+    def _engines(self):
+        return [self.dataset._engine(n) for n in self._qualified()]
 
     def __iter__(self):
         self.stats = LoaderStats()
@@ -209,22 +268,22 @@ class DeepLakeLoader:
             self._sample_nbytes(),
             self.memory_budget_bytes,
         )
-        # workers fetch groups of samples, not single samples: the decode
-        # of a group amortises task-dispatch overhead and keeps workers on
-        # one chunk at a time (locality)
+        # workers fetch groups of samples, not single samples: one
+        # ReadPlan per group amortises fetch + decompress + task-dispatch
+        # overhead and keeps workers on one chunk at a time (locality)
         group_size = max(1, min(self.batch_size, inflight, 16))
-        groups = [
-            tuple(rows[i : i + group_size])
-            for i in range(0, len(rows), group_size)
+        groups = group_indices(rows, group_size)
+        priority_of = self._make_priority_fn() if self.num_workers else None
+        cache0 = [
+            (e.chunk_cache_hits, e.chunk_cache_misses)
+            for e in self._engines()
         ]
         stream = prefetched(
             groups,
             self._fetch_group,
             num_workers=self.num_workers,
             inflight_limit=max(1, inflight // group_size),
-            priority_of=(
-                (lambda g: self._priority(g[0])) if self.num_workers else None
-            ),
+            priority_of=priority_of,
         )
         epoch_start = time.perf_counter()
         batch: List[Dict] = []
@@ -249,3 +308,6 @@ class DeepLakeLoader:
                 yield to_backend(self.collate(batch), self.backend)
         finally:
             self.stats.total_s = time.perf_counter() - epoch_start
+            for (h0, m0), engine in zip(cache0, self._engines()):
+                self.stats.chunk_cache_hits += engine.chunk_cache_hits - h0
+                self.stats.chunk_cache_misses += engine.chunk_cache_misses - m0

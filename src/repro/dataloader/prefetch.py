@@ -156,6 +156,18 @@ class Future:
         return self._cancelled
 
 
+def group_indices(rows: Sequence[int], group_size: int) -> List[tuple]:
+    """Split an order plan into contiguous worker groups.
+
+    Each group becomes one prefetch task executing a single ReadPlan, so
+    with a chunk-aware order plan a group's rows land on one (or few)
+    chunks and the fetch/decompress amortizes across the whole group.
+    """
+    size = max(1, int(group_size))
+    rows = list(rows)
+    return [tuple(rows[i : i + size]) for i in range(0, len(rows), size)]
+
+
 def compute_inflight_limit(
     num_workers: int,
     prefetch_factor: int,

@@ -11,7 +11,9 @@ returns.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.serve.protocol import Request, Response, raise_from_response
 from repro.serve.transport import Transport
@@ -67,6 +69,24 @@ class RemoteStorageProvider(StorageProvider):
         for data in resp.blobs.values():
             self.stats.record_get(len(data))
         return dict(resp.blobs)
+
+    def read_batch(self, tensor: str, rows: Sequence[int]) -> List[np.ndarray]:
+        """Decoded samples for many rows of *tensor* in one round trip.
+
+        The server executes one ReadPlan (chunks fetched + decompressed
+        once, through its shared cache) and ships every sample back in a
+        single response — the sample-level analogue of :meth:`get_many`.
+        """
+        resp = self._request(
+            "read_batch", tensor=tensor,
+            rows=tuple(int(r) for r in rows),
+        )
+        out = []
+        for dtype, shape, payload in resp.samples:
+            self.stats.record_get(len(payload))
+            arr = np.frombuffer(payload, dtype=np.dtype(dtype))
+            out.append(arr.reshape(tuple(shape)).copy())
+        return out
 
     def server_stats(self) -> dict:
         """The server's live stats snapshot (cache, tenants, admission)."""

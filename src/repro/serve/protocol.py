@@ -29,7 +29,8 @@ from repro import exceptions as exc
 MESSAGE_OVERHEAD_BYTES = 64
 
 #: Request operations understood by :meth:`DatasetServer.handle`.
-OPS = ("ping", "get", "get_many", "put", "delete", "keys", "flush", "stats")
+OPS = ("ping", "get", "get_many", "read_batch", "put", "delete", "keys",
+       "flush", "stats")
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,8 @@ class Request:
     start: Optional[int] = None         # ranged get
     end: Optional[int] = None
     payload: bytes = b""                # put
+    tensor: str = ""                    # read_batch
+    rows: Tuple[int, ...] = ()          # read_batch
 
     def nbytes(self) -> int:
         """Approximate on-the-wire size (for network cost models)."""
@@ -54,6 +57,8 @@ class Request:
             + len(self.key)
             + sum(len(k) for k in self.keys)
             + len(self.payload)
+            + len(self.tensor)
+            + 8 * len(self.rows)
         )
 
 
@@ -65,6 +70,8 @@ class Response:
     data: bytes = b""                             # get
     blobs: Dict[str, bytes] = field(default_factory=dict)  # get_many
     keys: Tuple[str, ...] = ()                    # keys
+    #: read_batch: one (dtype, shape, payload) triple per requested row
+    samples: Tuple[Tuple[str, Tuple[int, ...], bytes], ...] = ()
     info: Optional[dict] = None                   # stats / ping
     error_type: str = ""
     error: str = ""
@@ -73,6 +80,10 @@ class Response:
         n = MESSAGE_OVERHEAD_BYTES + len(self.data) + len(self.error)
         n += sum(len(k) + len(v) for k, v in self.blobs.items())
         n += sum(len(k) for k in self.keys)
+        n += sum(
+            len(dtype) + 4 * len(shape) + len(payload)
+            for dtype, shape, payload in self.samples
+        )
         if self.info is not None:
             n += len(repr(self.info))  # stats/ping payloads cost bytes too
         return n
@@ -93,6 +104,8 @@ _ERROR_TYPES: Dict[str, Type[BaseException]] = {
         exc.AdmissionError,
         exc.NetworkError,
         exc.StorageError,
+        exc.TensorDoesNotExistError,
+        exc.SampleIndexError,
         exc.DeepLakeError,
     )
 }

@@ -22,17 +22,25 @@ behind a shared front door):
   tenant and globally; rejected requests fail fast with
   :class:`~repro.exceptions.AdmissionError` rather than queueing without
   bound.
+- **Sample batching** — the ``read_batch`` op serves whole decoded
+  samples: the server opens the hosted dataset once, plans the request
+  through :meth:`~repro.core.chunk_engine.ChunkEngine.read_batch`
+  (one fetch + one decompress per chunk, reading through the shared
+  cache), and ships all rows back in a single response — so a remote
+  client gets chunk-granular amortization over the wire instead of one
+  round trip per sample.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.exceptions import (
     AdmissionError,
     KeyNotFound,
+    ReadOnlyStorageError,
     ServeError,
     UnknownDatasetError,
     UnknownServerError,
@@ -85,6 +93,75 @@ class _BackendMux(StorageProvider):
             keys |= {_mux_key(name, k) for k in backend._all_keys()}
         return keys
 
+    def get_many(self, keys: Sequence[str]):
+        """Batched misses: one backend get_many per owning dataset."""
+        by_dataset: Dict[str, List[str]] = {}
+        for key in keys:
+            dataset, _, raw = key.partition(_SEP)
+            by_dataset.setdefault(dataset, []).append(raw)
+        out: Dict[str, bytes] = {}
+        for dataset, raws in by_dataset.items():
+            backend = self.server._backend(dataset)
+            for raw, blob in backend.get_many(raws).items():
+                self.stats.record_get(len(blob))
+                out[_mux_key(dataset, raw)] = blob
+        return out
+
+
+class _ServeView(StorageProvider):
+    """Read-only storage view the server's sample-serving Datasets use.
+
+    Whole-blob reads (chunks, meta, encoders) go through the server's
+    shared cache with single-flight dedup; batched reads ride the cache's
+    ``get_many`` so a ReadPlan's misses reach the backend in one call;
+    ranged reads slice a cached blob when resident and otherwise pass
+    through to the backend without polluting the cache.
+    """
+
+    def __init__(self, server: "DatasetServer", dataset: str):
+        super().__init__()
+        self.server = server
+        self.dataset = dataset
+        self.read_only = True
+
+    def _get(self, key, start, end):
+        server = self.server
+        mkey = _mux_key(self.dataset, key)
+        ranged = start is not None or end is not None
+        if server.cache is None or mkey in server._oversize:
+            return server._backend(self.dataset).get_bytes(key, start, end)
+        if ranged and not server.cache.is_cached(mkey):
+            return server._backend(self.dataset).get_bytes(key, start, end)
+        blob, _outcome = server._full_blob(mkey)
+        if not ranged:
+            return blob
+        s, e = clamp_range(len(blob), start, end)
+        return blob[s:e]
+
+    def get_many(self, keys: Sequence[str]):
+        server = self.server
+        if server.cache is None:
+            blobs = server._backend(self.dataset).get_many(keys)
+        else:
+            mux = server._batched_blobs(
+                [_mux_key(self.dataset, k) for k in keys]
+            )
+            blobs = {
+                key.partition(_SEP)[2]: blob for key, blob in mux.items()
+            }
+        for blob in blobs.values():
+            self.stats.record_get(len(blob))
+        return blobs
+
+    def _set(self, key, value):
+        raise ReadOnlyStorageError("served dataset views are read-only")
+
+    def _delete(self, key):
+        raise ReadOnlyStorageError("served dataset views are read-only")
+
+    def _all_keys(self):
+        return self.server._backend(self.dataset)._all_keys()
+
 
 @dataclass
 class TenantStats:
@@ -97,6 +174,9 @@ class TenantStats:
     cache_hits: int = 0
     cache_misses: int = 0
     coalesced: int = 0
+    samples_served: int = 0       # rows shipped via read_batch
+    chunk_cache_hits: int = 0     # decoded-chunk cache hits (read_batch)
+    chunk_cache_misses: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -107,6 +187,9 @@ class TenantStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "coalesced": self.coalesced,
+            "samples_served": self.samples_served,
+            "chunk_cache_hits": self.chunk_cache_hits,
+            "chunk_cache_misses": self.chunk_cache_misses,
         }
 
 
@@ -157,6 +240,9 @@ class DatasetServer:
         self._tenants: Dict[str, TenantStats] = {}
         self._flights: Dict[str, _Flight] = {}
         self._flight_lock = threading.Lock()
+        # lazily-opened Dataset views used by the read_batch sample op
+        self._served_views: Dict[str, object] = {}
+        self._views_lock = threading.Lock()
         self._oversize: Set[str] = set()  # mux keys too big for the cache
         self._transport: Optional[Transport] = None
         self._running = False
@@ -184,6 +270,21 @@ class DatasetServer:
     def remove_dataset(self, name: str) -> None:
         with self._datasets_lock:
             self._datasets.pop(name, None)
+        with self._views_lock:
+            self._served_views.pop(name, None)
+
+    def _served_dataset(self, name: str):
+        """Dataset view over a hosted backend, reading through the shared
+        cache; opened once and reused by every read_batch request."""
+        with self._views_lock:
+            ds = self._served_views.get(name)
+            if ds is None:
+                from repro.core.dataset import Dataset
+
+                self._backend(name)  # raise UnknownDatasetError early
+                ds = Dataset(_ServeView(self, name), read_only=True)
+                self._served_views[name] = ds
+            return ds
 
     def _backend(self, name: str) -> StorageProvider:
         with self._datasets_lock:
@@ -284,6 +385,8 @@ class DatasetServer:
                 except KeyNotFound:
                     continue  # batch semantics: return the keys that exist
             return Response(blobs=blobs)
+        if req.op == "read_batch":
+            return self._serve_read_batch(req, tenant)
         if req.op == "put":
             backend = self._backend(req.dataset)
             backend[req.key] = req.payload
@@ -381,7 +484,126 @@ class DatasetServer:
                 cache.invalidate(mkey)
             flight.event.set()
 
+    def _serve_read_batch(self, req: Request, tenant: TenantStats) -> Response:
+        """Decoded samples for many rows in one round trip.
+
+        The hosted dataset is read through the shared chunk cache, so the
+        ReadPlan's chunk fetches land once per chunk server-wide; the
+        engine's decoded-chunk hit/miss delta is surfaced per tenant.
+        """
+        import numpy as np
+
+        ds = self._served_dataset(req.dataset)
+        engine = ds._engine(req.tensor)
+        # always plan + execute (even for one row): serving wants chunks
+        # resident in the shared cache for the tenants that come next,
+        # and residency is computed per request, not as a delta on shared
+        # counters — concurrent tenants must not claim each other's I/O
+        plan = engine.plan_reads(list(req.rows))
+        hits, misses = engine.plan_residency(plan)
+        values = engine.execute_plan(plan)
+        samples = []
+        for value in values:
+            if not isinstance(value, np.ndarray):
+                raise ServeError(
+                    f"tensor {req.tensor!r} holds ragged sequence samples; "
+                    "read_batch serves fixed ndarray samples only"
+                )
+            arr = np.ascontiguousarray(value)
+            samples.append(
+                (arr.dtype.str, tuple(int(x) for x in arr.shape),
+                 arr.tobytes())
+            )
+        with self._stats_lock:
+            tenant.samples_served += len(samples)
+            tenant.chunk_cache_hits += hits
+            tenant.chunk_cache_misses += misses
+        return Response(samples=tuple(samples))
+
+    def _batched_blobs(self, mkeys: Sequence[str]) -> Dict[str, bytes]:
+        """Whole blobs for many mux keys, with single-flight dedup.
+
+        Cache hits come from memory; this request becomes the leader for
+        every key with no fetch in flight and pays ONE downstream
+        ``get_many`` for all of them, while keys another request is
+        already fetching are joined as a follower — so N concurrent
+        ``read_batch`` storms over the same cold chunks still cost one
+        backend GET per chunk, exactly like the blob-level ``get`` path.
+        Missing keys are omitted (``get_many`` semantics).
+        """
+        cache = self.cache
+        out: Dict[str, bytes] = {}
+        need: List[str] = []
+        for mkey in dict.fromkeys(mkeys):
+            if cache.is_cached(mkey):
+                try:
+                    out[mkey] = cache[mkey]
+                    continue
+                except KeyNotFound:
+                    pass  # raced an eviction; fetch below
+            need.append(mkey)
+        leaders: Dict[str, _Flight] = {}
+        followers: Dict[str, _Flight] = {}
+        with self._flight_lock:
+            for mkey in need:
+                flight = self._flights.get(mkey)
+                if flight is None:
+                    flight = self._flights[mkey] = _Flight()
+                    leaders[mkey] = flight
+                else:
+                    followers[mkey] = flight
+        if leaders:
+            stale: List[str] = []
+            try:
+                blobs = cache.get_many(list(leaders))
+                for mkey, flight in leaders.items():
+                    blob = blobs.get(mkey)
+                    if blob is None:
+                        flight.exc = KeyNotFound(mkey)
+                        continue
+                    if len(blob) > cache.cache_size:
+                        self._oversize.add(mkey)
+                    flight.value = blob
+            except BaseException as e:  # noqa: BLE001 - settle followers
+                for flight in leaders.values():
+                    if flight.value is None and flight.exc is None:
+                        flight.exc = e
+                raise
+            finally:
+                with self._flight_lock:
+                    for mkey, flight in leaders.items():
+                        self._flights.pop(mkey, None)
+                        if flight.stale:
+                            stale.append(mkey)
+                for mkey in stale:
+                    # a put/delete raced the fetch; the cached bytes
+                    # predate the write and must not be served again
+                    cache.invalidate(mkey)
+                for flight in leaders.values():
+                    flight.event.set()
+            for mkey, flight in leaders.items():
+                if flight.value is not None:
+                    out[mkey] = flight.value
+        for mkey, flight in followers.items():
+            flight.event.wait()
+            if flight.stale:
+                try:
+                    out[mkey], _ = self._full_blob(mkey)
+                except KeyNotFound:
+                    continue
+            elif flight.exc is not None:
+                if isinstance(flight.exc, KeyNotFound):
+                    continue
+                raise flight.exc
+            else:
+                out[mkey] = flight.value
+        return out
+
     def _invalidate(self, dataset: str, key: str) -> None:
+        # a write makes any opened Dataset view's encoders/meta stale;
+        # drop it and let the next read_batch reopen lazily
+        with self._views_lock:
+            self._served_views.pop(dataset, None)
         mkey = _mux_key(dataset, key)
         self._oversize.discard(mkey)
         with self._flight_lock:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.exceptions import KeyNotFound
 from repro.storage.provider import StorageProvider, clamp_range
@@ -168,6 +168,37 @@ class LRUCache(StorageProvider):
                 pass
         if not found:
             raise KeyNotFound(key)
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
+        """Batched read: cache hits from memory, one downstream call for
+        the misses (so a ReadPlan against a cached remote dataset pays at
+        most one round trip regardless of how many chunks it touches)."""
+        out: Dict[str, bytes] = {}
+        missing = []
+        with self._lock:
+            gen = self._gen
+            for key in keys:
+                if key in out:
+                    continue
+                if key in self._order:
+                    self.hits += 1
+                    self._touch(key)
+                    out[key] = self.cache_storage._get(key, None, None)
+                else:
+                    self.misses += 1
+                    missing.append(key)
+        for key, data in out.items():
+            self.stats.record_get(len(data))
+        if missing:
+            fetched = self.next_storage.get_many(missing)
+            with self._lock:
+                for key, value in fetched.items():
+                    if key not in self._order and self._gen == gen:
+                        self._insert(key, value, dirty=False)
+            for key, value in fetched.items():
+                self.stats.record_get(len(value))
+                out[key] = value
+        return out
 
     def _all_keys(self) -> Set[str]:
         with self._lock:

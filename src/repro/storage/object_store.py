@@ -17,7 +17,7 @@ retried with exponential backoff, like a production S3 client.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.exceptions import NetworkError, TransientNetworkError
 from repro.sim.clock import SimClock
@@ -72,6 +72,29 @@ class SimulatedObjectStore(StorageProvider):
         data = self.backing._get(key, start, end)
         self._charge(len(data), "download")
         return data
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
+        """Batched GET: one request's fixed overhead for the whole batch.
+
+        Real object stores expose this as parallel/pipelined GETs over a
+        shared connection pool; the model's equivalent is charging the
+        per-request overhead and first-byte latency once plus the payload
+        bytes at sustained bandwidth.  Per-key request accounting is kept
+        so "GETs per chunk" stays comparable across providers.
+        """
+        out: Dict[str, bytes] = {}
+        total = 0
+        for key in keys:
+            try:
+                data = self.backing._get(key, None, None)
+            except KeyError:
+                continue
+            self.stats.record_get(len(data))
+            out[key] = data
+            total += len(data)
+        if out:
+            self._charge(total, "download")
+        return out
 
     def _set(self, key: str, value: bytes) -> None:
         self._charge(len(value), "upload")

@@ -8,6 +8,10 @@ matter for the paper's access patterns:
 - **ranged reads** (:meth:`get_bytes`): the streaming dataloader and the
   tile-pyramid visualizer fetch sub-ranges of 8 MB chunks instead of whole
   blobs ("range-based requests to access sub-elements inside chunks", §3.5);
+- **batched reads** (:meth:`get_many`): the ReadPlan layer fetches every
+  chunk a batch of samples needs in one call, letting backends amortize
+  per-request overhead (one round trip for a served dataset, one charged
+  request for simulated object storage);
 - **request accounting** (:attr:`stats`): the benchmarks reason about
   request counts and bytes moved, which is what separates the baselines on
   object storage.
@@ -18,7 +22,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterator, MutableMapping, Optional, Set
+from typing import Dict, Iterator, MutableMapping, Optional, Sequence, Set
 
 from repro.exceptions import ReadOnlyStorageError
 
@@ -129,6 +133,27 @@ class StorageProvider(ABC, MutableMapping):
         data = self._get(key, start, end)
         self.stats.record_get(len(data))
         return data
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
+        """Fetch several whole blobs at once; missing keys are omitted.
+
+        The base implementation loops, recording one GET per found key so
+        request accounting matches N individual fetches.  Backends with a
+        cheaper bulk path override this: the LRU cache answers hits from
+        memory and forwards only the misses downstream in one call, the
+        remote provider ships all keys in a single round trip, and the
+        simulated object store charges one request's overhead for the
+        whole batch.
+        """
+        out: Dict[str, bytes] = {}
+        for key in keys:
+            try:
+                data = self._get(key, None, None)
+            except KeyError:
+                continue
+            self.stats.record_get(len(data))
+            out[key] = data
+        return out
 
     def __setitem__(self, key: str, value: bytes) -> None:
         self.check_writable()

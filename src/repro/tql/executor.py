@@ -1,10 +1,18 @@
 """Executor of TQL plans: evaluates the tensor-op graph over dataset rows.
 
-Evaluation is row-at-a-time with per-row memoisation over the deduplicated
-graph (so shared subexpressions — the planner's CSE — are computed once),
-with predicate pushdown: when optimisation is on, the WHERE clause runs
-first touching only its own columns, and projections/order keys are only
-computed for surviving rows.
+Expression evaluation is row-at-a-time with per-row memoisation over the
+deduplicated graph (so shared subexpressions — the planner's CSE — are
+computed once), with predicate pushdown: when optimisation is on, the
+WHERE clause runs first touching only its own columns, and
+projections/order keys are only computed for surviving rows.
+
+Column I/O, however, is chunk-granular: the scan stages (WHERE and
+materialised projections) walk rows in batches and prefetch every
+referenced column through
+:meth:`~repro.core.chunk_engine.ChunkEngine.read_batch`, so each chunk is
+fetched + decompressed once per scan instead of once per cell.
+``optimize=False`` (the ablation mode) keeps the historical per-row
+fetches.
 
 Results come back as datasets (§4.4: TQL "constructs views of datasets,
 which can be visualized or directly streamed"):
@@ -37,23 +45,31 @@ from repro.tql.planner import (
 )
 
 
+#: Rows per scan batch.  read_batch groups each batch by owning chunk, and
+#: the engine's decoded-chunk cache bridges chunks straddling a boundary,
+#: so the scan issues at most one storage GET per chunk while holding only
+#: one batch of decoded cells at a time.
+SCAN_BATCH_ROWS = 1024
+
+
 class Executor:
-    def __init__(self, ds, plan: Plan, seed: int = 0):
+    def __init__(self, ds, plan: Plan, seed: int = 0,
+                 scan_batch_rows: int = SCAN_BATCH_ROWS):
         self.ds = ds
         self.plan = plan
         self.rng = np.random.default_rng(seed)
         self._decoders: Dict[str, tuple] = {}
         self.rows_scanned = 0
         self.cells_fetched = 0
+        self.scan_batch_rows = max(1, int(scan_batch_rows))
+        #: tensor -> {row: raw engine value} filled by batched scans
+        self._scan_cache: Dict[str, Dict[int, object]] = {}
 
     # ------------------------------------------------------------------ #
     # value access
     # ------------------------------------------------------------------ #
 
-    def _read_cell(self, tensor: str, row: int):
-        engine = self.ds._engine(tensor)
-        self.cells_fetched += 1
-        value = engine.read_sample(row)
+    def _decode_cell(self, engine, value):
         if engine.meta.is_text and isinstance(value, np.ndarray):
             return bytes(value.tobytes()).decode("utf-8")
         if engine.meta.is_json and isinstance(value, np.ndarray):
@@ -61,6 +77,33 @@ class Executor:
 
             return json_loads(bytes(value.tobytes()))
         return value
+
+    def _read_cell(self, tensor: str, row: int):
+        engine = self.ds._engine(tensor)
+        self.cells_fetched += 1
+        cached = self._scan_cache.get(tensor)
+        if cached is not None and row in cached:
+            return self._decode_cell(engine, cached[row])
+        return self._decode_cell(engine, engine.read_sample(row))
+
+    def _prefetch_columns(self, tensors: List[str], rows: List[int]) -> None:
+        """One ReadPlan per column for this batch of rows: each chunk is
+        fetched and decompressed once, then cells come from memory."""
+        for tensor in tensors:
+            engine = self.ds._engine(tensor)
+            try:
+                values = engine.read_batch(rows)
+            except Exception:  # noqa: BLE001 - fall back to per-row reads
+                continue
+            self._scan_cache[tensor] = dict(zip(rows, values))
+
+    def _clear_prefetched(self) -> None:
+        self._scan_cache.clear()
+
+    def _scan_batches(self, rows: List[int]):
+        step = self.scan_batch_rows
+        for i in range(0, len(rows), step):
+            yield rows[i : i + step]
 
     # ------------------------------------------------------------------ #
     # graph evaluation
@@ -150,12 +193,17 @@ class Executor:
         plan = self.plan
         if plan.where_node is None:
             return list(rows)
+        columns = plan.filter_columns() if plan.optimize else []
         out = []
-        for row in rows:
-            memo: Dict[int, object] = {}
-            self.rows_scanned += 1
-            if _truthy(self.eval_node(plan.where_node, row, memo)):
-                out.append(row)
+        for batch in self._scan_batches(list(rows)):
+            if columns:
+                self._prefetch_columns(columns, batch)
+            for row in batch:
+                memo: Dict[int, object] = {}
+                self.rows_scanned += 1
+                if _truthy(self.eval_node(plan.where_node, row, memo)):
+                    out.append(row)
+            self._clear_prefetched()
         return out
 
     def order_rows(self, rows: List[int]) -> List[int]:
@@ -271,21 +319,26 @@ class Executor:
         out = _api.empty(f"mem://tql-{id(self)}", overwrite=True)
         out.query_string = query_string
         created = False
-        for row in rows:
-            memo: Dict[int, object] = {}
-            values = {
-                name: self.eval_node(node, row, memo)
-                for name, node in self.plan.projections
-            }
-            if not created:
-                for name, value in values.items():
-                    self._infer_and_create(out, name, value)
-                created = True
-            out.append(
-                {k: (np.asarray(v) if not isinstance(v, (str, dict, list))
-                     else v)
-                 for k, v in values.items()}
-            )
+        columns = self.plan.projection_columns() if self.plan.optimize else []
+        for batch in self._scan_batches(list(rows)):
+            if columns:
+                self._prefetch_columns(columns, batch)
+            for row in batch:
+                memo: Dict[int, object] = {}
+                values = {
+                    name: self.eval_node(node, row, memo)
+                    for name, node in self.plan.projections
+                }
+                if not created:
+                    for name, value in values.items():
+                        self._infer_and_create(out, name, value)
+                    created = True
+                out.append(
+                    {k: (np.asarray(v) if not isinstance(v, (str, dict, list))
+                         else v)
+                     for k, v in values.items()}
+                )
+            self._clear_prefetched()
         if not created:
             for name, _node in self.plan.projections:
                 out.create_tensor(name, dtype="float64",

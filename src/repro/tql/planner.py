@@ -183,18 +183,29 @@ class Plan:
         """Tensors needed to evaluate just the WHERE clause."""
         if self.where_node is None:
             return []
-        cols = set()
+        return _node_columns([self.where_node])
 
-        def walk(node: Node):
-            if isinstance(node, ColumnNode):
-                cols.add(node.tensor)
-            elif isinstance(node, ShapeNode):
-                cols.add(node.shape_tensor)
-            for child in node.inputs:
-                walk(child)
+    def projection_columns(self) -> List[str]:
+        """Tensors needed to evaluate the (computed) projections —
+        what the executor's chunk-batched scan prefetches per batch."""
+        return _node_columns([node for _name, node in self.projections])
 
-        walk(self.where_node)
-        return sorted(cols)
+
+def _node_columns(nodes: List[Node]) -> List[str]:
+    """All tensors (including hidden shape tensors) a node set reads."""
+    cols = set()
+
+    def walk(node: Node):
+        if isinstance(node, ColumnNode):
+            cols.add(node.tensor)
+        elif isinstance(node, ShapeNode):
+            cols.add(node.shape_tensor)
+        for child in node.inputs:
+            walk(child)
+
+    for node in nodes:
+        walk(node)
+    return sorted(cols)
 
 
 class Planner:

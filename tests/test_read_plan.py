@@ -1,0 +1,480 @@
+"""The ReadPlan layer: plan_reads grouping, read_batch identity with
+per-row read_sample, batched shapes, cache counters, get_many providers,
+Dataset.read_rows, and the consumers riding the batch path."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.chunk_engine import ChunkEngine
+from repro.core.meta import TensorMeta
+from repro.core.version_state import VersionState
+from repro.exceptions import SampleIndexError
+from repro.storage import MemoryProvider
+from repro.storage.lru_cache import LRUCache
+
+
+def make_engine(storage=None, **meta_kwargs):
+    if storage is None:
+        storage = MemoryProvider()
+    meta_kwargs.setdefault("htype", "generic")
+    meta = TensorMeta(**meta_kwargs)
+    return ChunkEngine("t", storage, VersionState(), meta=meta), storage
+
+
+def fresh_reader(storage) -> ChunkEngine:
+    """Cold-cache engine over already-written storage."""
+    return ChunkEngine("t", storage, VersionState())
+
+
+class TestPlanReads:
+    def test_rows_group_by_owning_chunk(self):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=1000)
+        for _ in range(10):  # 400B samples -> 2 per chunk -> 5 chunks
+            engine.append(np.zeros(400, dtype=np.uint8))
+        engine.flush()
+        plan = engine.plan_reads([0, 1, 2, 3, 9])
+        assert plan.num_items == 5
+        assert plan.num_chunks == 3  # rows span chunks {0,1}, {2,3}, {9}
+        assert plan.num_fetches == 3
+        sizes = sorted(len(v) for v in plan.chunk_items.values())
+        assert sizes == [1, 2, 2]
+
+    def test_duplicate_and_negative_rows(self):
+        engine, _ = make_engine(dtype="int64", max_chunk_size=1 << 20)
+        engine.extend([np.arange(4, dtype=np.int64)] * 8)
+        engine.flush()
+        plan = engine.plan_reads([3, 3, -1])
+        assert plan.rows == [3, 3, 7]
+        assert plan.num_chunks == 1  # one chunk resolved once
+
+    def test_out_of_range_raises(self):
+        engine, _ = make_engine(dtype="int64")
+        engine.append(np.arange(3, dtype=np.int64))
+        with pytest.raises(SampleIndexError):
+            engine.plan_reads([5])
+
+    def test_tiled_sample_pulls_every_tile_chunk(self, rng):
+        engine, _ = make_engine(dtype="uint8", max_chunk_size=4096)
+        engine.append(rng.integers(0, 255, (128, 96, 3), dtype=np.uint8))
+        engine.flush()
+        assert engine.tile_enc.num_tiled == 1
+        plan = engine.plan_reads([0])
+        assert plan.items[0][0] == "tiled"
+        assert plan.num_chunks == len(plan.items[0][2])
+        assert plan.num_chunks > 1
+
+    def test_sequence_rows_expand_to_item_spans(self):
+        engine, _ = make_engine(htype="sequence[generic]", dtype="int64")
+        engine.append([np.arange(2, dtype=np.int64)] * 3)
+        engine.append([np.arange(2, dtype=np.int64)] * 2)
+        engine.flush()
+        plan = engine.plan_reads([1, 0])
+        assert plan.seq_spans == [(0, 2), (2, 3)]
+        assert plan.num_items == 5
+
+
+class TestReadBatchIdentity:
+    def assert_matches(self, engine, rows, **kwargs):
+        batch = engine.read_batch(rows, **kwargs)
+        for value, row in zip(batch, rows):
+            ref = engine.read_sample(row, **kwargs)
+            if isinstance(ref, list):
+                assert isinstance(value, list) and len(value) == len(ref)
+                for a, b in zip(value, ref):
+                    assert np.array_equal(a, b)
+            else:
+                assert np.array_equal(value, ref)
+
+    def test_uncompressed_across_chunk_boundaries(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(60):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        assert engine.enc.num_chunks > 1
+        self.assert_matches(fresh_reader(storage), [0, 17, 59, 30, 17])
+
+    def test_sample_compressed_jpeg(self, rng):
+        from repro.workloads import smooth_image
+
+        engine, storage = make_engine(
+            htype="image", sample_compression="jpeg", max_chunk_size=1 << 20
+        )
+        for _ in range(12):
+            engine.append(smooth_image(rng, 40, 40))
+        engine.flush()
+        self.assert_matches(fresh_reader(storage), list(range(12)))
+
+    def test_chunk_compressed_lz4(self):
+        engine, storage = make_engine(dtype="int64", chunk_compression="lz4")
+        engine.extend([np.arange(100, dtype=np.int64)] * 20)
+        engine.flush()
+        self.assert_matches(fresh_reader(storage), [19, 0, 7])
+
+    def test_tiled_and_flat_mix(self, rng):
+        engine, storage = make_engine(dtype="uint8", max_chunk_size=4096)
+        engine.append(np.zeros((4, 4, 3), dtype=np.uint8))
+        engine.append(rng.integers(0, 255, (128, 96, 3), dtype=np.uint8))
+        engine.flush()
+        assert engine.tile_enc.num_tiled == 1
+        fresh = fresh_reader(storage)
+        batch = fresh.read_batch([1, 0])
+        assert np.array_equal(batch[0], engine.read_sample(1))
+        assert np.array_equal(batch[1], engine.read_sample(0))
+
+    def test_sequences_stack_and_aslist(self):
+        engine, storage = make_engine(htype="sequence[generic]", dtype="int64")
+        engine.append([np.arange(3, dtype=np.int64)] * 2)
+        engine.append([np.arange(3, dtype=np.int64)] * 4)
+        engine.flush()
+        fresh = fresh_reader(storage)
+        self.assert_matches(fresh, [1, 0])
+        self.assert_matches(fresh, [1, 0], aslist=True)
+
+    def test_padded_rows(self):
+        engine, storage = make_engine(dtype="float64")
+        engine.append(np.ones(3))
+        engine.pad_to(5)
+        engine.flush()
+        self.assert_matches(fresh_reader(storage), [0, 3, 4])
+
+    def test_text(self):
+        engine, storage = make_engine(htype="text")
+        for word in ["alpha", "beta", "gamma"]:
+            engine.append(word)
+        engine.flush()
+        self.assert_matches(fresh_reader(storage), [2, 0, 1])
+
+    def test_raw_mode_matches_stored_payload(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(20):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        fresh = fresh_reader(storage)
+        raws = fresh.read_batch([3, 12], decode=False)
+        assert raws[0] == np.arange(3, 7, dtype=np.int64).tobytes()
+        assert raws[1] == np.arange(12, 16, dtype=np.int64).tobytes()
+
+
+class TestCopyOnWriteAcrossCommits:
+    def test_read_batch_spans_commit_owned_chunks(self):
+        ds = repro.empty(MemoryProvider("cow"), overwrite=True)
+        ds.create_tensor("x", dtype="int64", max_chunk_size=256,
+                         create_shape_tensor=False, create_id_tensor=False)
+        for i in range(20):
+            ds.x.append(np.full((4,), i, dtype=np.int64))
+        first = ds.commit("base")
+        # COW update of an ancestor-owned chunk + fresh appends
+        ds.x[0] = np.full((4,), 111, dtype=np.int64)
+        for i in range(20, 30):
+            ds.x.append(np.full((4,), i, dtype=np.int64))
+        ds.flush()
+
+        engine = ds._engine("x")
+        rows = [0, 5, 19, 25, 29]
+        batch = engine.read_batch(rows)
+        for value, row in zip(batch, rows):
+            assert np.array_equal(value, engine.read_sample(row))
+        assert batch[0][0] == 111  # updated value at head
+        # time travel still sees the pre-COW bytes
+        old = ds._at_commit(first)
+        assert old._engine("x").read_batch([0])[0][0] == 0
+
+    def test_plan_resolves_keys_against_owning_commit(self):
+        ds = repro.empty(MemoryProvider("cow2"), overwrite=True)
+        ds.create_tensor("x", dtype="int64",
+                         create_shape_tensor=False, create_id_tensor=False)
+        ds.x.append(np.arange(4, dtype=np.int64))
+        ds.commit("base")
+        ds.x.append(np.arange(4, 8, dtype=np.int64))
+        ds.flush()
+        engine = ds._engine("x")
+        plan = engine.plan_reads([0, 1])
+        assert len(plan.chunk_keys) >= 1
+        # the resumed chunk is COW-owned by the head commit
+        assert any(ds.commit_id in key for key in plan.chunk_keys.values())
+
+
+class TestCacheCounters:
+    def test_cold_misses_then_hits(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(40):
+            engine.append(np.arange(4, dtype=np.int64))
+        engine.flush()
+        fresh = fresh_reader(storage)
+        fresh.read_batch(list(range(40)))
+        assert fresh.chunk_cache_misses == fresh.enc.num_chunks
+        assert fresh.full_chunk_reads == fresh.enc.num_chunks
+        before_hits = fresh.chunk_cache_hits
+        fresh.read_batch(list(range(40)))
+        assert fresh.chunk_cache_hits == before_hits + fresh.enc.num_chunks
+        assert fresh.full_chunk_reads == fresh.enc.num_chunks
+
+    def test_single_row_batch_keeps_partial_reads(self, rng):
+        from repro.workloads import smooth_image
+
+        engine, storage = make_engine(
+            htype="image", sample_compression="jpeg", max_chunk_size=1 << 20
+        )
+        for _ in range(30):
+            engine.append(smooth_image(rng, 40, 40))
+        engine.flush()
+        fresh = fresh_reader(storage)
+        storage.stats.reset()
+        batch = fresh.read_batch([17])
+        assert np.array_equal(batch[0], engine.read_sample(17))
+        # sparse random access must stay a ranged read, not a full chunk
+        assert fresh.partial_reads == 1
+        assert fresh.full_chunk_reads == 0
+        assert storage.stats.bytes_read < 30_000
+
+    def test_one_get_per_chunk_cold(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(40):
+            engine.append(np.arange(4, dtype=np.int64))
+        engine.flush()
+        fresh = fresh_reader(storage)
+        storage.stats.reset()
+        fresh.read_batch(list(range(40)))
+        assert storage.stats.get_requests == fresh.enc.num_chunks
+
+
+class TestReadShapesBatch:
+    def test_matches_per_row_and_reads_headers_once(self, rng):
+        from repro.workloads import smooth_image
+
+        engine, storage = make_engine(
+            htype="image", sample_compression="jpeg", max_chunk_size=1 << 20
+        )
+        for i in range(10):
+            engine.append(smooth_image(rng, 24 + 8 * (i % 3), 32))
+        engine.flush()
+        fresh = fresh_reader(storage)
+        storage.stats.reset()
+        shapes = fresh.read_shapes_batch(list(range(10)))
+        assert shapes == [engine.read_shape(i) for i in range(10)]
+        # header probe(s) only, never payloads
+        assert storage.stats.bytes_read < 8192
+
+
+class TestGetManyProviders:
+    def test_default_get_many_skips_missing(self):
+        storage = MemoryProvider()
+        storage["a"] = b"xx"
+        storage["b"] = b"yyy"
+        storage.stats.reset()
+        blobs = storage.get_many(["a", "missing", "b"])
+        assert blobs == {"a": b"xx", "b": b"yyy"}
+        assert storage.stats.get_requests == 2
+        assert storage.stats.bytes_read == 5
+
+    def test_lru_cache_get_many_batches_misses(self):
+        slow = MemoryProvider("slow")
+        for i in range(6):
+            slow[f"k{i}"] = bytes([i]) * 10
+        cache = LRUCache(MemoryProvider("fast"), slow, cache_size=1 << 20)
+        _ = cache["k0"]  # warm one key
+        hits0, misses0 = cache.hits, cache.misses
+        blobs = cache.get_many([f"k{i}" for i in range(6)])
+        assert set(blobs) == {f"k{i}" for i in range(6)}
+        assert cache.hits == hits0 + 1
+        assert cache.misses == misses0 + 5
+        # misses are now resident
+        assert all(cache.is_cached(f"k{i}") for i in range(6))
+
+    def test_object_store_charges_batch_once(self):
+        from repro.sim.clock import SimClock
+        from repro.storage.object_store import make_object_store
+
+        clock = SimClock()
+        store = make_object_store("s3", clock=clock)
+        for i in range(8):
+            store[f"k{i}"] = b"z" * 100
+        t0 = clock.now()
+        store.get_many([f"k{i}" for i in range(8)])
+        batched = clock.now() - t0
+        t1 = clock.now()
+        for i in range(8):
+            _ = store[f"k{i}"]
+        looped = clock.now() - t1
+        assert batched < looped / 2  # one request overhead, not eight
+
+
+class TestDatasetReadRows:
+    def make_ds(self):
+        ds = repro.empty(MemoryProvider("rr"), overwrite=True)
+        ds.create_tensor("x", dtype="int64", max_chunk_size=256,
+                         create_shape_tensor=False, create_id_tensor=False)
+        ds.create_tensor("y", htype="text",
+                         create_shape_tensor=False, create_id_tensor=False)
+        for i in range(30):
+            ds.append({"x": np.full((4,), i, dtype=np.int64), "y": f"s{i}"})
+        ds.flush()
+        return ds
+
+    def test_view_relative_rows(self):
+        ds = self.make_ds()
+        view = ds[10:20]
+        out = view.read_rows([0, 5, 9], tensors=["x"])
+        assert [int(v[0]) for v in out["x"]] == [10, 15, 19]
+
+    def test_physical_rows_and_all_tensors(self):
+        ds = self.make_ds()
+        out = ds.read_rows([3, 7], physical=True)
+        assert set(out) == {"x", "y"}
+        assert int(out["x"][1][0]) == 7
+
+    def test_decode_false_returns_payloads(self):
+        ds = self.make_ds()
+        out = ds.read_rows([2], tensors=["y"], decode=False)
+        assert out["y"][0] == b"s2"
+
+    def test_group_qualified_name_wins_over_shadowing_root(self):
+        ds = repro.empty(MemoryProvider("shadow"), overwrite=True)
+        for name, value in [("labels", 1), ("g/labels", 99)]:
+            ds.create_tensor(name, dtype="int64",
+                             create_shape_tensor=False, create_id_tensor=False)
+            ds._engine(name).append(np.int64(value))
+        ds.flush()
+        group = ds["g"]
+        assert int(group.read_rows([0], ["labels"])["labels"][0]) == 99
+
+    def test_sub_indexed_view_matches_tensor_numpy(self):
+        ds = repro.empty(MemoryProvider("subidx"), overwrite=True)
+        ds.create_tensor("x", dtype="float64",
+                         create_shape_tensor=False, create_id_tensor=False)
+        for _ in range(6):
+            ds.x.append(np.arange(100, dtype=np.float64).reshape(10, 10))
+        ds.flush()
+        view = ds[0:4, 2:4]
+        batched = view.read_rows([0, 3], ["x"])["x"]
+        assert np.array_equal(batched[0], view["x"][0].numpy())
+        assert batched[0].shape == (2, 10)
+
+
+class TestConsumersMatchPerSamplePath:
+    def test_loader_batched_equals_per_sample(self, image_ds):
+        from repro.dataloader import DeepLakeLoader
+
+        batched = list(DeepLakeLoader(image_ds, batch_size=5, seed=3,
+                                      shuffle=True))
+        single = list(DeepLakeLoader(image_ds, batch_size=5, seed=3,
+                                     shuffle=True, batched=False))
+        assert len(batched) == len(single)
+        for a, b in zip(batched, single):
+            assert np.array_equal(a["labels"], b["labels"])
+            for x, y in zip(a["images"], b["images"]):
+                assert np.array_equal(x, y)
+
+    def test_loader_stats_expose_chunk_cache_counters(self, image_ds):
+        from repro.dataloader import DeepLakeLoader
+
+        cold = repro.load(image_ds.storage)  # fresh engines, cold cache
+        loader = DeepLakeLoader(cold, batch_size=8)
+        for _ in loader:
+            pass
+        stats = loader.stats.as_dict()
+        assert stats["chunk_cache_misses"] >= 1
+        # second epoch runs hot
+        for _ in loader:
+            pass
+        assert loader.stats.as_dict()["chunk_cache_hits"] >= 1
+
+    def test_batch_size_one_streams_whole_chunks(self, image_ds):
+        from repro.dataloader import DeepLakeLoader
+
+        cold = repro.load(image_ds.storage)
+        engine = cold._engine("images")  # warm state; chunks stay cold
+        cold._engine("labels")
+        image_ds.storage.stats.reset()
+        loader = DeepLakeLoader(cold, batch_size=1, tensors=["images"])
+        n = sum(1 for _ in loader)
+        assert n == 24
+        # single-row groups must keep prefer_full streaming: one GET per
+        # chunk, not a header probe + ranged GET per sample
+        assert image_ds.storage.stats.get_requests == engine.enc.num_chunks
+
+    def test_tql_filter_one_get_per_chunk(self):
+        store = MemoryProvider("tql")
+        ds = repro.empty(store, overwrite=True)
+        ds.create_tensor("v", dtype="float64", max_chunk_size=512,
+                         create_shape_tensor=False, create_id_tensor=False)
+        for i in range(200):
+            ds.v.append(np.float64(i))
+        ds.flush()
+        cold = repro.load(store)
+        engine = cold._engine("v")
+        n_chunks = engine.enc.num_chunks
+        assert n_chunks > 1
+        store.stats.reset()
+        result = cold.query("select * where v >= 100")
+        assert len(result) == 100
+        assert store.stats.get_requests <= n_chunks
+
+    def test_serve_read_batch_identity_and_sequence_error(self):
+        from repro.exceptions import ServeError
+        from repro.serve.server import DatasetServer
+
+        store = MemoryProvider("served")
+        ds = repro.empty(store, overwrite=True)
+        ds.create_tensor("x", dtype="int64",
+                         create_shape_tensor=False, create_id_tensor=False)
+        ds.create_tensor("seq", htype="sequence[generic]", dtype="int64",
+                         create_shape_tensor=False, create_id_tensor=False)
+        for i in range(10):
+            # ragged items within one sequence sample: no single ndarray
+            ds.append({"x": np.full((3,), i, dtype=np.int64),
+                       "seq": [np.arange(2, dtype=np.int64),
+                               np.arange(3, dtype=np.int64)]})
+        ds.flush()
+        server = DatasetServer("rp-test").add_dataset("d", store)
+        client = server.connect("d", tenant="alice")
+        values = client.read_batch("x", [9, 0, 4])
+        assert [int(v[0]) for v in values] == [9, 0, 4]
+        with pytest.raises(ServeError):
+            client.read_batch("seq", [0, 1])
+        stats = server.stats_snapshot()["tenants"]["alice"]
+        assert stats["samples_served"] == 3
+        assert stats["chunk_cache_hits"] + stats["chunk_cache_misses"] >= 1
+
+    def test_concurrent_serve_read_batch_dedups_backend_gets(self):
+        import threading
+
+        from repro.serve.server import DatasetServer
+
+        store = MemoryProvider("stampede")
+        ds = repro.empty(store, overwrite=True)
+        ds.create_tensor("x", dtype="int64", max_chunk_size=512,
+                         create_shape_tensor=False, create_id_tensor=False)
+        for i in range(64):
+            ds.x.append(np.full((8,), i, dtype=np.int64))
+        ds.flush()
+        server = DatasetServer("stampede-test").add_dataset("d", store)
+        n_chunks = ds._engine("x").enc.num_chunks
+        assert n_chunks > 1
+        # warm meta/encoders (engine state); chunk payloads stay cold
+        server._served_dataset("d")._engine("x")
+        store.stats.reset()
+
+        rows = list(range(64))
+        results: dict = {}
+        barrier = threading.Barrier(8)
+
+        def storm(i):
+            client = server.connect("d", tenant=f"t{i}")
+            barrier.wait()
+            results[i] = client.read_batch("x", rows)
+
+        threads = [
+            threading.Thread(target=storm, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        for values in results.values():
+            assert [int(v[0]) for v in values] == list(range(64))
+        # single-flight + batched misses: one backend GET per cold chunk,
+        # not one per client per chunk
+        assert store.stats.get_requests == n_chunks
