@@ -4,6 +4,11 @@ Benchmarks run at a reduced default scale so the whole suite finishes on a
 laptop; set ``REPRO_BENCH_SCALE`` (float, default 1.0) to scale workload
 sizes up toward the paper's parameters.  Every benchmark prints the
 table/series its figure reports; EXPERIMENTS.md records paper-vs-measured.
+
+Benchmarks additionally leave ``BENCH_<name>.json`` perf records behind
+via :func:`bench_record` (re-exported from :mod:`repro.obs.bench`) — CI
+asserts at least one record exists and uploads them as artifacts, so each
+PR carries its measured performance with it.
 """
 
 import os
@@ -11,6 +16,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.obs.bench import bench_record  # noqa: F401 - shared helper
 from repro.storage import clear_simulated_buckets
 from repro.util.ids import seed_ids
 

@@ -22,7 +22,7 @@ from repro.sim.clock import SimClock
 from repro.storage import MemoryProvider
 from repro.storage.object_store import make_object_store
 
-from conftest import print_table, scaled
+from conftest import bench_record, print_table, scaled
 
 
 def _image_dataset(storage, rng, n, chunk_size=64 * 1024):
@@ -122,3 +122,18 @@ class TestLoaderBatchedThroughput:
         assert speedup >= 1.5, (
             f"batched loader only {speedup:.2f}x over per-sample path"
         )
+
+        # perf record for this PR: throughput, backend GETs, and the
+        # object store's per-request virtual latency percentiles
+        latency = store.latency_percentiles("download_batch")
+        if not any(latency.values()):
+            latency = store.latency_percentiles("download")
+        bench_record("batched_reads", {
+            "samples": n,
+            "per_sample_samples_per_s": round(per_sample_rate, 1),
+            "batched_samples_per_s": round(batched_rate, 1),
+            "speedup": round(speedup, 3),
+            "backend_get_requests": store.stats.get_requests,
+            "backend_bytes_read": store.stats.bytes_read,
+            "request_latency_virtual_s": latency,
+        })

@@ -1,0 +1,86 @@
+"""End-to-end telemetry tour: metrics registry + stitched request traces.
+
+Serves one dataset to four tenants, streams an epoch with the dataloader
+and runs a TQL query, then shows what the obs layer collected:
+
+- a metrics snapshot — per-tenant serve counters, cache hit/miss series,
+  chunk-engine decode accounting, object-store latency percentiles — all
+  from the single process-global registry;
+- one rendered trace tree of a served ``read_batch``, stitched across
+  the protocol boundary: client → server → shared cache → object store.
+
+Run:  python examples/observability.py
+"""
+
+import numpy as np
+
+import repro
+from repro import obs
+from repro.sim import SimClock
+from repro.storage import make_object_store
+
+
+def build_dataset(s3) -> None:
+    ds = repro.empty(s3, overwrite=True)
+    ds.create_tensor("images", htype="image", sample_compression="jpeg")
+    ds.create_tensor("labels", htype="class_label",
+                     class_names=["cat", "dog", "bird"])
+    rng = np.random.default_rng(0)
+    for i in range(48):
+        ds.append({
+            "images": rng.integers(0, 255, (48, 48, 3), dtype=np.uint8),
+            "labels": np.int32(i % 3),
+        })
+    ds.flush()
+
+
+def main() -> None:
+    clock = SimClock()
+    obs.use_virtual_clock(clock)  # spans also record modelled S3 seconds
+    s3 = make_object_store("s3", clock=clock)
+    build_dataset(s3)
+
+    server = repro.serve({"animals": s3}, name="edge",
+                         cache_bytes=64 * 1024 * 1024)
+
+    # -- four tenants hammer the same served dataset ----------------------
+    for tenant in ("trainer", "analyst", "viz", "batch"):
+        remote = repro.connect(f"serve://{tenant}@edge/animals")
+        remote.query("SELECT * WHERE labels == 'dog' LIMIT 4")
+
+    trainer = repro.connect("serve://trainer@edge/animals")
+    loader = trainer.dataloader(batch_size=8, shuffle=True, num_workers=2)
+    seen = sum(len(b["labels"]) for b in loader)
+    print(f"trainer streamed {seen} samples; loader stats: "
+          f"{loader.stats.as_dict()}")
+
+    # -- the metrics snapshot an operator would watch ---------------------
+    snap = obs.snapshot()
+    print("\n--- metrics snapshot (selected) ---")
+    for name in ("serve.requests", "serve.samples_served", "cache.hits",
+                 "cache.misses", "chunk_engine.decoded_cache_misses",
+                 "loader.samples", "tql.rows_scanned"):
+        for labels, value in sorted(snap.get(name, {}).items()):
+            print(f"  {name}{{{labels}}} = {value}")
+    for labels, h in sorted(snap.get("serve.request_seconds", {}).items()):
+        print(f"  serve.request_seconds{{{labels}}}: count={h['count']} "
+              f"p50={h['p50'] * 1e3:.2f}ms p99={h['p99'] * 1e3:.2f}ms")
+    for op in ("download", "download_batch"):
+        dl = s3.latency_percentiles(op)
+        if any(dl.values()):
+            print(f"  s3 {op} virtual latency: p50={dl['p50']:.4f}s "
+                  f"p95={dl['p95']:.4f}s p99={dl['p99']:.4f}s")
+
+    # -- one stitched trace: client -> server -> cache -> object store ----
+    remote = server.connect("animals", tenant="trainer")
+    with obs.trace("trainer.read_batch") as root:
+        remote.read_batch("labels", [0, 7, 23])
+    print("\n--- stitched trace of one served read_batch ---")
+    print(obs.render(root))
+
+    server.stop()
+    obs.use_virtual_clock(None)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,7 @@ Public surface (mirroring the ``deeplake`` package):
 - subsystems: :mod:`repro.tql`, :mod:`repro.dataloader`,
   :mod:`repro.visualizer`, :mod:`repro.ingest`, :mod:`repro.storage`,
   :mod:`repro.sim`, :mod:`repro.baselines`, :mod:`repro.workloads`,
-  :mod:`repro.serve`
+  :mod:`repro.serve`, :mod:`repro.obs` (metrics + tracing)
 """
 
 from repro.api import connect, copy, dataset, delete, empty, exists, load
@@ -21,6 +21,7 @@ from repro.api import connect, copy, dataset, delete, empty, exists, load
 # DatasetServer (forwards to repro.api.serve), repro.serve.DatasetServer
 # is the class
 import repro.serve  # noqa: E402,F401
+import repro.obs  # noqa: E402,F401
 from repro.core.dataset import Dataset
 from repro.core.tensor import Tensor
 from repro.core.sample import LinkedSample, Sample, link, read

@@ -43,6 +43,7 @@ observable from loader stats and per-tenant serve stats.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -71,6 +72,8 @@ from repro.exceptions import (
     LinkError,
     SampleIndexError,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.storage.provider import StorageProvider
 from repro.util import keys as K
 from repro.util.json_util import json_dumps, json_loads
@@ -197,11 +200,41 @@ class ChunkEngine:
         # per-ancestor-commit chunk_set cache
         self._ancestor_chunk_sets: Dict[str, Set[str]] = {}
 
-        # I/O accounting for benchmarks / loader & serve stats
-        self.partial_reads = 0
-        self.full_chunk_reads = 0
-        self.chunk_cache_hits = 0
-        self.chunk_cache_misses = 0
+        # I/O accounting: all counts are registry-backed metrics.  Each
+        # engine keeps *standalone* Counter handles (exact per-engine
+        # views, exposed through the read-only properties below — the one
+        # source the loader's and serve tier's stats read from) and
+        # mirrors every event into the tensor-labeled aggregate series so
+        # one registry snapshot explains I/O across all engines.
+        reg = _metrics.REGISTRY
+        self._c_partial = _metrics.Counter(reg)
+        self._c_full = _metrics.Counter(reg)
+        self._c_hits = _metrics.Counter(reg)
+        self._c_misses = _metrics.Counter(reg)
+        self._m_partial = reg.counter(
+            "chunk_engine.partial_reads", tensor=tensor
+        )
+        self._m_full = reg.counter(
+            "chunk_engine.full_chunk_reads", tensor=tensor
+        )
+        self._m_hits = reg.counter(
+            "chunk_engine.decoded_cache_hits", tensor=tensor
+        )
+        self._m_misses = reg.counter(
+            "chunk_engine.decoded_cache_misses", tensor=tensor
+        )
+        self._m_chunks_planned = reg.counter(
+            "chunk_engine.chunks_planned", tensor=tensor
+        )
+        self._m_bytes_decoded = reg.counter(
+            "chunk_engine.bytes_decoded", tensor=tensor
+        )
+        self._h_decode = reg.histogram(
+            "chunk_engine.decode_seconds", tensor=tensor
+        )
+        self._h_plan_chunks = reg.histogram(
+            "chunk_engine.plan_chunks", tensor=tensor
+        )
 
         # write-back chunk being filled by appends (not yet in storage)
         self._active_chunk: Optional[Chunk] = None
@@ -358,6 +391,44 @@ class ChunkEngine:
         return chunk_name in self.chunk_set
 
     # ------------------------------------------------------------------ #
+    # I/O accounting (registry-backed; ad-hoc int fields are gone)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def partial_reads(self) -> int:
+        """Ranged single-sample reads this engine issued (§3.5 path)."""
+        return self._c_partial.value
+
+    @property
+    def full_chunk_reads(self) -> int:
+        """Whole-chunk fetch+decode operations this engine performed."""
+        return self._c_full.value
+
+    @property
+    def chunk_cache_hits(self) -> int:
+        """Decoded-chunk buffer cache hits (one source of truth; loader
+        and serve stats are views over this)."""
+        return self._c_hits.value
+
+    @property
+    def chunk_cache_misses(self) -> int:
+        return self._c_misses.value
+
+    def _count_partial_read(self) -> None:
+        self._c_partial.inc()
+        self._m_partial.inc()
+
+    def _decode_chunk(self, blob: bytes, name: str) -> Chunk:
+        """Parse *blob* into a Chunk, charging decode accounting."""
+        t0 = time.perf_counter()
+        chunk = Chunk.frombytes(blob, name=name)
+        self._h_decode.observe(time.perf_counter() - t0)
+        self._c_full.inc()
+        self._m_full.inc()
+        self._m_bytes_decoded.inc(len(blob))
+        return chunk
+
+    # ------------------------------------------------------------------ #
     # chunk cache
     # ------------------------------------------------------------------ #
 
@@ -382,9 +453,11 @@ class ChunkEngine:
             chunk = self._chunk_cache.get(key)
             if chunk is not None:
                 self._chunk_cache.move_to_end(key)
-                self.chunk_cache_hits += 1
+                self._c_hits.inc()
+                self._m_hits.inc()
             else:
-                self.chunk_cache_misses += 1
+                self._c_misses.inc()
+                self._m_misses.inc()
             return chunk
 
     def _cache_peek(self, key: str) -> Optional[Chunk]:
@@ -413,8 +486,7 @@ class ChunkEngine:
         if cached is not None:
             return cached
         blob = self.storage[key]
-        self.full_chunk_reads += 1
-        chunk = Chunk.frombytes(blob, name=chunk_name)
+        chunk = self._decode_chunk(blob, chunk_name)
         self._cache_put(key, chunk)
         return chunk
 
@@ -710,7 +782,7 @@ class ChunkEngine:
                 )
                 if (end - start) * 4 < chunk_data_len:
                     raw = self.storage.get_bytes(key, start, end)
-                    self.partial_reads += 1
+                    self._count_partial_read()
                     return raw, header.sample_shape(local)
         chunk = self._load_chunk(name)
         return chunk.read_bytes(local), chunk.read_shape(local)
@@ -941,17 +1013,22 @@ class ChunkEngine:
         """
         plan = ReadPlan(self.tensor)
         plan.rows = self._normalize_rows(rows)
-        with self._lock:
-            if self.meta.is_sequence:
-                plan.seq_spans = []
-                flat: List[int] = []
-                for i in plan.rows:
-                    start, end = self.seq_enc.item_range(i)
-                    plan.seq_spans.append((len(flat), end - start))
-                    flat.extend(range(start, end))
-                self._plan_flat_items(plan, flat)
-            else:
-                self._plan_flat_items(plan, plan.rows)
+        with _tracing.span("engine.plan_reads", tensor=self.tensor,
+                           rows=len(plan.rows)) as sp:
+            with self._lock:
+                if self.meta.is_sequence:
+                    plan.seq_spans = []
+                    flat: List[int] = []
+                    for i in plan.rows:
+                        start, end = self.seq_enc.item_range(i)
+                        plan.seq_spans.append((len(flat), end - start))
+                        flat.extend(range(start, end))
+                    self._plan_flat_items(plan, flat)
+                else:
+                    self._plan_flat_items(plan, plan.rows)
+            self._m_chunks_planned.inc(len(plan.chunk_keys))
+            self._h_plan_chunks.observe(len(plan.chunk_keys))
+            sp.set(chunks=plan.num_chunks)
         return plan
 
     def _fetch_plan_chunks(self, plan: ReadPlan) -> Dict[str, Chunk]:
@@ -972,13 +1049,14 @@ class ChunkEngine:
             else:
                 to_fetch[key] = name
         if to_fetch:
-            blobs = self.storage.get_many(list(to_fetch))
+            with _tracing.span("engine.fetch_chunks", tensor=self.tensor,
+                               chunks=len(to_fetch)):
+                blobs = self.storage.get_many(list(to_fetch))
             for key, name in to_fetch.items():
                 blob = blobs.get(key)
                 if blob is None:
                     raise KeyNotFound(key)
-                self.full_chunk_reads += 1
-                chunk = Chunk.frombytes(blob, name=name)
+                chunk = self._decode_chunk(blob, name)
                 self._cache_put(key, chunk)
                 chunks[name] = chunk
         return chunks
@@ -1021,10 +1099,12 @@ class ChunkEngine:
         ``decode=False`` values are raw stored payloads (``bytes``) —
         sequence rows become lists of payloads.
         """
-        chunks = self._fetch_plan_chunks(plan)
-        values = [
-            self._item_value(spec, chunks, decode) for spec in plan.items
-        ]
+        with _tracing.span("engine.execute_plan", tensor=self.tensor,
+                           rows=len(plan.rows), chunks=plan.num_chunks):
+            chunks = self._fetch_plan_chunks(plan)
+            values = [
+                self._item_value(spec, chunks, decode) for spec in plan.items
+            ]
         if plan.seq_spans is None:
             return values
         out = []

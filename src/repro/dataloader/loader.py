@@ -31,10 +31,18 @@ from repro.dataloader.prefetch import (
 )
 from repro.exceptions import DataLoaderError
 from repro.integrations.frameworks import to_backend
+from repro.obs import metrics as _metrics
 
 
 class LoaderStats:
-    """Throughput/stall accounting of one epoch."""
+    """Throughput/stall accounting of one epoch.
+
+    ``chunk_cache_hits``/``chunk_cache_misses`` are *views* over the
+    engines' registry-backed counters — each reads the engine's counter
+    at call time minus its value when the epoch started — not mutable
+    field-level copies, so the numbers can never drift from the engines'
+    own accounting.
+    """
 
     def __init__(self):
         self.samples = 0
@@ -42,8 +50,25 @@ class LoaderStats:
         self.wait_s = 0.0
         self.total_s = 0.0
         self.transform_s = 0.0
-        self.chunk_cache_hits = 0
-        self.chunk_cache_misses = 0
+        self._engine_baselines: List[Tuple] = []
+
+    def _track_engines(self, engines) -> None:
+        """Snapshot engine counters at epoch start; deltas are the view."""
+        self._engine_baselines = [
+            (e, e.chunk_cache_hits, e.chunk_cache_misses) for e in engines
+        ]
+
+    @property
+    def chunk_cache_hits(self) -> int:
+        return sum(
+            e.chunk_cache_hits - h0 for e, h0, _m0 in self._engine_baselines
+        )
+
+    @property
+    def chunk_cache_misses(self) -> int:
+        return sum(
+            e.chunk_cache_misses - m0 for e, _h0, m0 in self._engine_baselines
+        )
 
     @property
     def samples_per_second(self) -> float:
@@ -114,6 +139,18 @@ class DeepLakeLoader:
         #: batched-vs-per-sample benchmark and as an escape hatch
         self.batched = batched
         self.stats = LoaderStats()
+        ds_label = str(getattr(dataset, "path", "") or "dataset")
+        self._h_batch = _metrics.histogram(
+            "loader.batch_seconds", dataset=ds_label
+        )
+        self._h_wait = _metrics.histogram(
+            "loader.wait_seconds", dataset=ds_label
+        )
+        self._m_samples = _metrics.counter("loader.samples", dataset=ds_label)
+        self._m_batches = _metrics.counter("loader.batches", dataset=ds_label)
+        self._g_queue = _metrics.gauge(
+            "loader.prefetch_queue_depth", dataset=ds_label
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -274,18 +311,17 @@ class DeepLakeLoader:
         group_size = max(1, min(self.batch_size, inflight, 16))
         groups = group_indices(rows, group_size)
         priority_of = self._make_priority_fn() if self.num_workers else None
-        cache0 = [
-            (e.chunk_cache_hits, e.chunk_cache_misses)
-            for e in self._engines()
-        ]
+        self.stats._track_engines(self._engines())
         stream = prefetched(
             groups,
             self._fetch_group,
             num_workers=self.num_workers,
             inflight_limit=max(1, inflight // group_size),
             priority_of=priority_of,
+            queue_gauge=self._g_queue,
         )
         epoch_start = time.perf_counter()
+        batch_start = epoch_start
         batch: List[Dict] = []
         try:
             while True:
@@ -294,20 +330,27 @@ class DeepLakeLoader:
                     group = next(stream)
                 except StopIteration:
                     break
-                self.stats.wait_s += time.perf_counter() - wait_start
+                waited = time.perf_counter() - wait_start
+                self.stats.wait_s += waited
+                self._h_wait.observe(waited)
                 for sample in group:
                     self.stats.samples += 1
+                    self._m_samples.inc()
                     batch.append(sample)
                     if len(batch) == self.batch_size:
                         self.stats.batches += 1
-                        self.stats.total_s = time.perf_counter() - epoch_start
+                        self._m_batches.inc()
+                        now = time.perf_counter()
+                        self._h_batch.observe(now - batch_start)
+                        self.stats.total_s = now - epoch_start
                         yield to_backend(self.collate(batch), self.backend)
                         batch = []
+                        batch_start = time.perf_counter()
             if batch and not self.drop_last:
                 self.stats.batches += 1
+                self._m_batches.inc()
+                self._h_batch.observe(time.perf_counter() - batch_start)
                 yield to_backend(self.collate(batch), self.backend)
         finally:
             self.stats.total_s = time.perf_counter() - epoch_start
-            for (h0, m0), engine in zip(cache0, self._engines()):
-                self.stats.chunk_cache_hits += engine.chunk_cache_hits - h0
-                self.stats.chunk_cache_misses += engine.chunk_cache_misses - m0
+            self._g_queue.set(0)

@@ -193,11 +193,16 @@ def prefetched(
     num_workers: int,
     inflight_limit: int,
     priority_of: Optional[Callable[[int], float]] = None,
+    queue_gauge=None,
 ) -> Iterator[Dict]:
     """Yield ``fetch(i)`` results in input order with bounded lookahead.
 
     Workers run ahead by up to *inflight_limit* samples; consumption order
     is preserved so batches are deterministic given the order plan.
+
+    *queue_gauge* (an :class:`repro.obs.metrics.Gauge`, optional) tracks
+    the number of in-flight prefetch tasks so a metrics snapshot shows
+    how far ahead of the consumer the workers are running.
     """
     if num_workers <= 0:
         for i in indices:
@@ -216,6 +221,8 @@ def prefetched(
                 prio = priority_of(i) if priority_of else 0.0
                 futures[next_submit] = pool.submit(prio, fetch, i)
                 next_submit += 1
+            if queue_gauge is not None:
+                queue_gauge.set(len(futures))
 
         submit_upto(inflight_limit)
         for pos in range(len(indices)):

@@ -1,0 +1,86 @@
+"""Per-PR perf records: ``BENCH_<name>.json`` files benchmarks emit.
+
+ROADMAP item 5 wants a performance trajectory that survives re-anchoring:
+every benchmark run writes a small JSON record (throughput, backend GET
+counts, latency percentiles) that CI uploads as an artifact, so the next
+session can *read* how fast the system was instead of re-deriving it
+from commit messages.
+
+Records land in the current working directory by default (the repo root
+when pytest runs from there); ``REPRO_BENCH_DIR`` redirects them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional
+
+from repro.obs.metrics import REGISTRY
+
+_NAME_SAFE = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+
+
+def bench_dir() -> str:
+    return os.environ.get("REPRO_BENCH_DIR", "") or os.getcwd()
+
+
+def bench_record(name: str, metrics: dict,
+                 directory: Optional[str] = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    *metrics* is the benchmark's own payload (throughput, GET counts,
+    latency percentile dicts...); the record adds provenance — timestamp,
+    bench scale, and a registry snapshot digest (series counts only, so
+    records stay small and diffable).
+    """
+    safe = "".join(c if c in _NAME_SAFE else "_" for c in name)
+    if not safe:
+        raise ValueError(f"bench record name {name!r} has no usable characters")
+    directory = directory or bench_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{safe}.json")
+    record = {
+        "name": name,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "bench_scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        "obs_enabled": REGISTRY.enabled,
+        "metrics": metrics,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(record, f, indent=2, sort_keys=True, default=_jsonable)
+        f.write("\n")
+    return path
+
+
+def _jsonable(value):
+    """Best-effort coercion for numpy scalars and other numerics."""
+    for attr in ("item",):  # numpy scalars / 0-d arrays
+        fn = getattr(value, attr, None)
+        if callable(fn):
+            try:
+                return fn()
+            except Exception:  # noqa: BLE001 - fall through to str
+                break
+    return str(value)
+
+
+def load_bench_records(directory: Optional[str] = None) -> dict:
+    """``{name: record}`` for every ``BENCH_*.json`` in *directory*."""
+    directory = directory or bench_dir()
+    out = {}
+    try:
+        entries = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return out
+    for entry in entries:
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(directory, entry), encoding="utf-8") as f:
+                record = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        out[record.get("name", entry[len("BENCH_"):-len(".json")])] = record
+    return out

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.obs import tracing as _tracing
 from repro.serve.protocol import Request, Response, raise_from_response
 from repro.serve.transport import Transport
 from repro.storage.provider import StorageProvider
@@ -33,10 +34,22 @@ class RemoteStorageProvider(StorageProvider):
     # ------------------------------------------------------------------ #
 
     def _request(self, op: str, **fields) -> Response:
-        req = Request(op=op, tenant=self.tenant, dataset=self.dataset,
-                      **fields)
-        resp = self.transport.request(req)
-        raise_from_response(resp)
+        """One round trip, trace-stitched: when this thread is tracing,
+        the request carries ``(trace_id, span_id)`` and the server's span
+        tree comes back on the response and is grafted under the call."""
+        with _tracing.span(f"serve.client.{op}", dataset=self.dataset,
+                           tenant=self.tenant):
+            ctx = _tracing.trace_context()
+            if ctx is not None:
+                req = Request(op=op, tenant=self.tenant,
+                              dataset=self.dataset, trace_id=ctx[0],
+                              parent_span=ctx[1], **fields)
+            else:
+                req = Request(op=op, tenant=self.tenant,
+                              dataset=self.dataset, **fields)
+            resp = self.transport.request(req)
+            _tracing.attach_remote(resp.trace)
+            raise_from_response(resp)
         return resp
 
     def _get(self, key: str, start: Optional[int],

@@ -47,6 +47,11 @@ class Request:
     payload: bytes = b""                # put
     tensor: str = ""                    # read_batch
     rows: Tuple[int, ...] = ()          # read_batch
+    #: W3C-trace-context-style propagation: when set, the server records
+    #: its handling as a detached span tree under this parent and ships
+    #: the tree back on :attr:`Response.trace`.
+    trace_id: str = ""
+    parent_span: str = ""
 
     def nbytes(self) -> int:
         """Approximate on-the-wire size (for network cost models)."""
@@ -59,6 +64,8 @@ class Request:
             + len(self.payload)
             + len(self.tensor)
             + 8 * len(self.rows)
+            + len(self.trace_id)
+            + len(self.parent_span)
         )
 
 
@@ -75,9 +82,14 @@ class Response:
     info: Optional[dict] = None                   # stats / ping
     error_type: str = ""
     error: str = ""
+    #: serialized server-side span tree (set when the request carried a
+    #: trace context); the client grafts it under its own calling span
+    trace: Optional[dict] = None
 
     def nbytes(self) -> int:
         n = MESSAGE_OVERHEAD_BYTES + len(self.data) + len(self.error)
+        if self.trace is not None:
+            n += len(repr(self.trace))
         n += sum(len(k) + len(v) for k, v in self.blobs.items())
         n += sum(len(k) for k in self.keys)
         n += sum(

@@ -34,8 +34,8 @@ behind a shared front door):
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Union
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.exceptions import (
     AdmissionError,
@@ -45,6 +45,8 @@ from repro.exceptions import (
     UnknownDatasetError,
     UnknownServerError,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.serve.protocol import OPS, Request, Response, error_response
 from repro.serve.transport import (
     InprocTransport,
@@ -163,34 +165,43 @@ class _ServeView(StorageProvider):
         return self.server._backend(self.dataset)._all_keys()
 
 
-@dataclass
 class TenantStats:
-    """Per-tenant serving counters (guarded by the server's stats lock)."""
+    """Per-tenant serving counters, registry-backed.
 
-    requests: int = 0
-    rejected: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    coalesced: int = 0
-    samples_served: int = 0       # rows shipped via read_batch
-    chunk_cache_hits: int = 0     # decoded-chunk cache hits (read_batch)
-    chunk_cache_misses: int = 0
+    Exact per-tenant counts live in standalone thread-safe
+    :class:`~repro.obs.metrics.Counter` objects (one set per instance,
+    so ``snapshot()`` stays exact per server), and every event also
+    increments the global ``serve.<field>{server,tenant}`` series — the
+    per-tenant decoded-chunk hit/miss numbers are a labeled view of the
+    same accounting, not a third hand-rolled copy of the engine's.
+    """
+
+    FIELDS = ("requests", "rejected", "bytes_in", "bytes_out",
+              "cache_hits", "cache_misses", "coalesced", "samples_served",
+              "chunk_cache_hits", "chunk_cache_misses")
+
+    __slots__ = ("_exact", "_mirror")
+
+    def __init__(self, server: str = "", tenant: str = "default"):
+        reg = _metrics.REGISTRY
+        self._exact = {f: _metrics.Counter(reg) for f in self.FIELDS}
+        self._mirror = {
+            f: reg.counter(f"serve.{f}", server=server, tenant=tenant)
+            for f in self.FIELDS
+        }
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._exact[name].inc(n)
+        self._mirror[name].inc(n)
+
+    def __getattr__(self, name: str) -> int:
+        exact = object.__getattribute__(self, "_exact")
+        if name in exact:
+            return exact[name].value
+        raise AttributeError(name)
 
     def snapshot(self) -> dict:
-        return {
-            "requests": self.requests,
-            "rejected": self.rejected,
-            "bytes_in": self.bytes_in,
-            "bytes_out": self.bytes_out,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "coalesced": self.coalesced,
-            "samples_served": self.samples_served,
-            "chunk_cache_hits": self.chunk_cache_hits,
-            "chunk_cache_misses": self.chunk_cache_misses,
-        }
+        return {name: self._exact[name].value for name in self.FIELDS}
 
 
 class _Flight:
@@ -227,6 +238,7 @@ class DatasetServer:
                 MemoryProvider(f"{name}-serve-cache"),
                 _BackendMux(self),
                 cache_bytes,
+                name=f"{name}-serve",
             )
             if cache_bytes
             else None
@@ -246,6 +258,8 @@ class DatasetServer:
         self._oversize: Set[str] = set()  # mux keys too big for the cache
         self._transport: Optional[Transport] = None
         self._running = False
+        # (op, tenant) -> serve.request_seconds histogram handle
+        self._op_hists: Dict[Tuple[str, str], object] = {}
 
     # ------------------------------------------------------------------ #
     # hosting / lifecycle
@@ -351,26 +365,55 @@ class DatasetServer:
     # ------------------------------------------------------------------ #
 
     def handle(self, req: Request) -> Response:
-        """Serve one request (safe to call from many threads)."""
+        """Serve one request (safe to call from many threads).
+
+        When the request carries a trace context, the whole dispatch is
+        recorded as a detached span tree (server → cache → backend) and
+        shipped back on ``resp.trace`` for the client to graft — one
+        served ``read_batch`` renders as a single stitched trace.
+        """
         tenant = self._tenant(req.tenant)
         try:
             self._admit(req.tenant)
         except AdmissionError as e:
-            with self._stats_lock:
-                tenant.rejected += 1
+            tenant.inc("rejected")
             return error_response(e)
+        root = None
+        if req.trace_id:
+            root = _tracing.remote_child(
+                req.trace_id, req.parent_span, f"server.{req.op}",
+                server=self.name, tenant=req.tenant, dataset=req.dataset,
+            )
+            root.__enter__()
+        t0 = time.perf_counter()
         try:
-            with self._stats_lock:
-                tenant.requests += 1
+            tenant.inc("requests")
             resp = self._dispatch(req, tenant)
         except BaseException as e:  # noqa: BLE001 - errors go on the wire
             resp = error_response(e)
         finally:
             self._release(req.tenant)
-        with self._stats_lock:
-            tenant.bytes_out += resp.nbytes()
-            tenant.bytes_in += req.nbytes()
+            if root is not None:
+                root.__exit__(None, None, None)
+        self._op_histogram(req.op, req.tenant).observe(
+            time.perf_counter() - t0
+        )
+        if root is not None:
+            resp.trace = root.to_dict()
+        tenant.inc("bytes_out", resp.nbytes())
+        tenant.inc("bytes_in", req.nbytes())
         return resp
+
+    def _op_histogram(self, op: str, tenant: str):
+        """Per-op/per-tenant request latency histogram handle (cached)."""
+        key = (op, tenant)
+        h = self._op_hists.get(key)
+        if h is None:
+            h = self._op_hists[key] = _metrics.histogram(
+                "serve.request_seconds", server=self.name, op=op,
+                tenant=tenant,
+            )
+        return h
 
     def _dispatch(self, req: Request, tenant: TenantStats) -> Response:
         if req.op == "get":
@@ -421,18 +464,16 @@ class DatasetServer:
         if self.cache is None or (ranged and mkey in self._oversize):
             # no cache tier / known-oversize blob: direct (ranged) read
             data = backend.get_bytes(req.key, req.start, req.end)
-            with self._stats_lock:
-                tenant.cache_misses += 1
+            tenant.inc("cache_misses")
             return data
         blob, outcome = self._full_blob(mkey)
-        with self._stats_lock:
-            if outcome == "hit":
-                tenant.cache_hits += 1
-            elif outcome == "coalesced":
-                tenant.cache_hits += 1
-                tenant.coalesced += 1
-            else:
-                tenant.cache_misses += 1
+        if outcome == "hit":
+            tenant.inc("cache_hits")
+        elif outcome == "coalesced":
+            tenant.inc("cache_hits")
+            tenant.inc("coalesced")
+        else:
+            tenant.inc("cache_misses")
         if not ranged:
             return blob
         s, e = clamp_range(len(blob), req.start, req.end)
@@ -514,10 +555,9 @@ class DatasetServer:
                 (arr.dtype.str, tuple(int(x) for x in arr.shape),
                  arr.tobytes())
             )
-        with self._stats_lock:
-            tenant.samples_served += len(samples)
-            tenant.chunk_cache_hits += hits
-            tenant.chunk_cache_misses += misses
+        tenant.inc("samples_served", len(samples))
+        tenant.inc("chunk_cache_hits", hits)
+        tenant.inc("chunk_cache_misses", misses)
         return Response(samples=tuple(samples))
 
     def _batched_blobs(self, mkeys: Sequence[str]) -> Dict[str, bytes]:
@@ -620,7 +660,7 @@ class DatasetServer:
     def _tenant(self, tenant: str) -> TenantStats:
         with self._stats_lock:
             if tenant not in self._tenants:
-                self._tenants[tenant] = TenantStats()
+                self._tenants[tenant] = TenantStats(self.name, tenant)
             return self._tenants[tenant]
 
     def _admit(self, tenant: str) -> None:

@@ -40,11 +40,20 @@ from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Set
 
 from repro.exceptions import KeyNotFound
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.storage.provider import StorageProvider, clamp_range
 
 
 class LRUCache(StorageProvider):
-    """LRU byte-budgeted cache in front of a slower provider."""
+    """LRU byte-budgeted cache in front of a slower provider.
+
+    Per-instance ``hits``/``misses``/``evictions`` counters stay exact
+    object-level fields (tests and reprs rely on them); every event is
+    also recorded into the global registry under ``cache.hits`` /
+    ``cache.misses`` / ``cache.evictions`` labeled by the cache's
+    ``name``, so fleet-wide hit ratios come from one snapshot.
+    """
 
     def __init__(
         self,
@@ -52,12 +61,17 @@ class LRUCache(StorageProvider):
         next_storage: StorageProvider,
         cache_size: int,
         write_through: bool = True,
+        name: str = "lru",
     ):
         super().__init__()
         self.cache_storage = cache_storage
         self.next_storage = next_storage
         self.cache_size = int(cache_size)
         self.write_through = write_through
+        self.name = name
+        self._m_hits = _metrics.counter("cache.hits", cache=name)
+        self._m_misses = _metrics.counter("cache.misses", cache=name)
+        self._m_evictions = _metrics.counter("cache.evictions", cache=name)
         self._order: "OrderedDict[str, int]" = OrderedDict()  # key -> nbytes
         self._dirty: Set[str] = set()
         self._lock = threading.RLock()
@@ -73,6 +87,7 @@ class LRUCache(StorageProvider):
         self.cache_used = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     # internals (call with self._lock held)
@@ -91,6 +106,8 @@ class LRUCache(StorageProvider):
                 self._dirty.discard(old_key)
             self.cache_storage._delete(old_key)
             self.cache_used -= old_size
+            self.evictions += 1
+            self._m_evictions.inc()
 
     def _insert(self, key: str, value: bytes, dirty: bool) -> None:
         if len(value) > self.cache_size:
@@ -117,6 +134,7 @@ class LRUCache(StorageProvider):
         with self._lock:
             if key in self._order:
                 self.hits += 1
+                self._m_hits.inc()
                 self._touch(key)
                 blob = self.cache_storage._get(key, None, None)
                 if start is None and end is None:
@@ -124,13 +142,15 @@ class LRUCache(StorageProvider):
                 s, e = clamp_range(len(blob), start, end)
                 return blob[s:e]
             self.misses += 1
+            self._m_misses.inc()
             gen = self._gen
         # Miss: fetch downstream without holding the lock so hits (and
         # misses on other keys) are not serialized behind slow I/O.
         if start is not None or end is not None:
             # ranged miss: pass through, do not pollute the cache
             return self.next_storage.get_bytes(key, start, end)
-        value = self.next_storage[key]
+        with _tracing.span("cache.miss_fetch", cache=self.name, key=key):
+            value = self.next_storage[key]
         with self._lock:
             if key not in self._order and self._gen == gen:
                 self._insert(key, value, dirty=False)
@@ -182,15 +202,19 @@ class LRUCache(StorageProvider):
                     continue
                 if key in self._order:
                     self.hits += 1
+                    self._m_hits.inc()
                     self._touch(key)
                     out[key] = self.cache_storage._get(key, None, None)
                 else:
                     self.misses += 1
+                    self._m_misses.inc()
                     missing.append(key)
         for key, data in out.items():
             self.stats.record_get(len(data))
         if missing:
-            fetched = self.next_storage.get_many(missing)
+            with _tracing.span("cache.miss_fetch_many", cache=self.name,
+                               keys=len(missing)):
+                fetched = self.next_storage.get_many(missing)
             with self._lock:
                 for key, value in fetched.items():
                     if key not in self._order and self._gen == gen:

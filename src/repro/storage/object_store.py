@@ -20,6 +20,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Set
 
 from repro.exceptions import NetworkError, TransientNetworkError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.sim.clock import SimClock
 from repro.sim.network import NETWORK_PRESETS, NetworkModel
 from repro.storage.memory import MemoryProvider
@@ -27,7 +29,15 @@ from repro.storage.provider import StorageProvider
 
 
 class SimulatedObjectStore(StorageProvider):
-    """Object store = terminal provider + network cost model + retries."""
+    """Object store = terminal provider + network cost model + retries.
+
+    Request accounting exposes **per-call latency samples**, not just
+    aggregate counts: every operation records its modelled (virtual)
+    transfer time — including retry backoff — into ``stats`` and the
+    registry histogram ``objectstore.request_seconds{store,op}``, so
+    storage latency percentiles under simulated S3 reflect the network
+    model's actual per-request distribution (jitter, batching, backoff).
+    """
 
     def __init__(
         self,
@@ -46,31 +56,56 @@ class SimulatedObjectStore(StorageProvider):
         self.max_retries = int(max_retries)
         self.backoff_s = float(backoff_s)
         self.retries_performed = 0
+        self._m_retries = _metrics.counter("objectstore.retries", store=name)
+        self._h_ops: dict = {}
 
     # ------------------------------------------------------------------ #
 
-    def _charge(self, nbytes: int, category: str) -> None:
-        """Charge one request's transfer time, retrying injected failures."""
+    def _observe(self, op: str, seconds: float) -> None:
+        """One per-call virtual-latency sample for *op*."""
+        self.stats.record_latency(op, seconds)
+        h = self._h_ops.get(op)
+        if h is None:
+            h = self._h_ops[op] = _metrics.histogram(
+                "objectstore.request_seconds", store=self.name, op=op
+            )
+        h.observe(seconds)
+
+    def _charge(self, nbytes: int, category: str) -> float:
+        """Charge one request's transfer time, retrying injected failures.
+
+        Returns the total virtual seconds charged, backoff included —
+        the per-call latency a client of this store experienced.
+        """
         attempt = 0
+        total = 0.0
         while True:
             try:
                 dt = self.network.transfer_time(nbytes, n_requests=1)
                 self.clock.charge(dt, category)
-                return
+                total += dt
+                self._observe(category, total)
+                return total
             except TransientNetworkError:
                 attempt += 1
                 self.retries_performed += 1
+                self._m_retries.inc()
                 if attempt > self.max_retries:
                     raise NetworkError(
                         f"{self.name}: request failed after "
                         f"{self.max_retries} retries"
                     ) from None
                 # exponential backoff also costs (virtual) time
-                self.clock.charge(self.backoff_s * (2 ** (attempt - 1)), "backoff")
+                backoff = self.backoff_s * (2 ** (attempt - 1))
+                self.clock.charge(backoff, "backoff")
+                total += backoff
 
     def _get(self, key: str, start: Optional[int], end: Optional[int]) -> bytes:
         data = self.backing._get(key, start, end)
-        self._charge(len(data), "download")
+        with _tracing.span("objectstore.get", store=self.name, key=key,
+                           nbytes=len(data)) as sp:
+            dt = self._charge(len(data), "download")
+            sp.set(virtual_s=round(dt, 6))
         return data
 
     def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
@@ -84,21 +119,30 @@ class SimulatedObjectStore(StorageProvider):
         """
         out: Dict[str, bytes] = {}
         total = 0
-        for key in keys:
-            try:
-                data = self.backing._get(key, None, None)
-            except KeyError:
-                continue
-            self.stats.record_get(len(data))
-            out[key] = data
-            total += len(data)
-        if out:
-            self._charge(total, "download")
+        with _tracing.span("objectstore.get_many", store=self.name,
+                           keys=len(keys)) as sp:
+            for key in keys:
+                try:
+                    data = self.backing._get(key, None, None)
+                except KeyError:
+                    continue
+                self.stats.record_get(len(data))
+                self._m_gets.inc()
+                self._m_bytes_read.inc(len(data))
+                out[key] = data
+                total += len(data)
+            if out:
+                dt = self._charge(total, "download_batch")
+                sp.set(found=len(out), nbytes=total, virtual_s=round(dt, 6))
         return out
 
     def _set(self, key: str, value: bytes) -> None:
         self._charge(len(value), "upload")
         self.backing._set(key, value)
+
+    def latency_percentiles(self, op: str = "download") -> dict:
+        """p50/p95/p99 virtual seconds over retained samples for *op*."""
+        return self.stats.latency_percentiles(op)
 
     def _delete(self, key: str) -> None:
         self._charge(0, "delete")

@@ -20,16 +20,31 @@ matter for the paper's access patterns:
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, MutableMapping, Optional, Sequence, Set
 
 from repro.exceptions import ReadOnlyStorageError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+#: Per-op latency samples kept by :class:`StorageStats` (newest win).
+LATENCY_SAMPLE_CAP = 4096
 
 
 @dataclass
 class StorageStats:
-    """Counters of traffic that flowed through a provider."""
+    """Counters of traffic that flowed through a provider.
+
+    Besides aggregate request/byte counts, each operation kind keeps a
+    bounded buffer of **per-call latency samples** (real seconds for real
+    providers, modelled/virtual seconds for
+    :class:`~repro.storage.object_store.SimulatedObjectStore`) so storage
+    latency histograms have actual distributions to report, not just
+    request totals.
+    """
 
     get_requests: int = 0
     put_requests: int = 0
@@ -37,19 +52,24 @@ class StorageStats:
     list_requests: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    latencies: Dict[str, deque] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
-    def record_get(self, nbytes: int) -> None:
+    def record_get(self, nbytes: int, seconds: Optional[float] = None) -> None:
         with self._lock:
             self.get_requests += 1
             self.bytes_read += nbytes
+        if seconds is not None:
+            self.record_latency("get", seconds)
 
-    def record_put(self, nbytes: int) -> None:
+    def record_put(self, nbytes: int, seconds: Optional[float] = None) -> None:
         with self._lock:
             self.put_requests += 1
             self.bytes_written += nbytes
+        if seconds is not None:
+            self.record_latency("put", seconds)
 
     def record_delete(self) -> None:
         with self._lock:
@@ -59,6 +79,22 @@ class StorageStats:
         with self._lock:
             self.list_requests += 1
 
+    def record_latency(self, op: str, seconds: float) -> None:
+        """Append one per-call latency sample for *op* (bounded buffer)."""
+        with self._lock:
+            buf = self.latencies.get(op)
+            if buf is None:
+                buf = self.latencies[op] = deque(maxlen=LATENCY_SAMPLE_CAP)
+            buf.append(float(seconds))
+
+    def latency_samples(self, op: str) -> list:
+        with self._lock:
+            return list(self.latencies.get(op, ()))
+
+    def latency_percentiles(self, op: str) -> dict:
+        """p50/p95/p99 over the retained samples for *op*."""
+        return _metrics.percentiles(self.latency_samples(op))
+
     def reset(self) -> None:
         with self._lock:
             self.get_requests = 0
@@ -67,10 +103,11 @@ class StorageStats:
             self.list_requests = 0
             self.bytes_read = 0
             self.bytes_written = 0
+            self.latencies.clear()
 
     def snapshot(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "get_requests": self.get_requests,
                 "put_requests": self.put_requests,
                 "delete_requests": self.delete_requests,
@@ -78,14 +115,52 @@ class StorageStats:
                 "bytes_read": self.bytes_read,
                 "bytes_written": self.bytes_written,
             }
+            sampled = {op: len(buf) for op, buf in self.latencies.items() if buf}
+        if sampled:
+            out["latency_samples"] = sampled
+        return out
 
 
 class StorageProvider(ABC, MutableMapping):
-    """Flat key/value blob store with ranged reads and traffic stats."""
+    """Flat key/value blob store with ranged reads and traffic stats.
+
+    Every provider also reports into the global metrics registry, labeled
+    by provider class — ``storage.get_requests{provider=...}``,
+    ``storage.op_seconds{provider=...,op=...}`` — and emits trace spans
+    for whole-blob and batched reads when a trace is active, which is how
+    a served ``read_batch`` trace reaches all the way down to the object
+    store.
+    """
 
     def __init__(self):
         self.read_only = False
         self.stats = StorageStats()
+        kind = type(self).__name__
+        self._m_gets = _metrics.counter("storage.get_requests", provider=kind)
+        self._m_puts = _metrics.counter("storage.put_requests", provider=kind)
+        self._m_bytes_read = _metrics.counter(
+            "storage.bytes_read", provider=kind
+        )
+        self._m_bytes_written = _metrics.counter(
+            "storage.bytes_written", provider=kind
+        )
+        self._h_get = _metrics.histogram(
+            "storage.op_seconds", provider=kind, op="get"
+        )
+        self._h_get_many = _metrics.histogram(
+            "storage.op_seconds", provider=kind, op="get_many"
+        )
+        self._h_put = _metrics.histogram(
+            "storage.op_seconds", provider=kind, op="put"
+        )
+
+    def _record_read(self, nbytes: int, seconds: float, op: str = "get") -> None:
+        """Registry + stats accounting for one read that took *seconds*."""
+        self.stats.record_get(nbytes)
+        self.stats.record_latency(op, seconds)
+        self._m_gets.inc()
+        self._m_bytes_read.inc(nbytes)
+        (self._h_get_many if op == "get_many" else self._h_get).observe(seconds)
 
     # -- write protection ------------------------------------------------
 
@@ -122,16 +197,21 @@ class StorageProvider(ABC, MutableMapping):
     # -- mapping interface --------------------------------------------------
 
     def __getitem__(self, key: str) -> bytes:
-        data = self._get(key, None, None)
-        self.stats.record_get(len(data))
+        with _tracing.span("storage.get", provider=type(self).__name__,
+                           key=key) as sp:
+            t0 = time.perf_counter()
+            data = self._get(key, None, None)
+            self._record_read(len(data), time.perf_counter() - t0)
+            sp.set(nbytes=len(data))
         return data
 
     def get_bytes(
         self, key: str, start: Optional[int] = None, end: Optional[int] = None
     ) -> bytes:
         """Ranged read; ``start``/``end`` follow slice semantics."""
+        t0 = time.perf_counter()
         data = self._get(key, start, end)
-        self.stats.record_get(len(data))
+        self._record_read(len(data), time.perf_counter() - t0)
         return data
 
     def get_many(self, keys: Sequence[str]) -> Dict[str, bytes]:
@@ -146,20 +226,30 @@ class StorageProvider(ABC, MutableMapping):
         whole batch.
         """
         out: Dict[str, bytes] = {}
-        for key in keys:
-            try:
-                data = self._get(key, None, None)
-            except KeyError:
-                continue
-            self.stats.record_get(len(data))
-            out[key] = data
+        with _tracing.span("storage.get_many", provider=type(self).__name__,
+                           keys=len(keys)) as sp:
+            for key in keys:
+                try:
+                    t0 = time.perf_counter()
+                    data = self._get(key, None, None)
+                except KeyError:
+                    continue
+                self._record_read(len(data), time.perf_counter() - t0,
+                                  op="get_many")
+                out[key] = data
+            sp.set(found=len(out))
         return out
 
     def __setitem__(self, key: str, value: bytes) -> None:
         self.check_writable()
         value = bytes(value)
+        t0 = time.perf_counter()
         self._set(key, value)
-        self.stats.record_put(len(value))
+        elapsed = time.perf_counter() - t0
+        self.stats.record_put(len(value), seconds=elapsed)
+        self._m_puts.inc()
+        self._m_bytes_written.inc(len(value))
+        self._h_put.observe(elapsed)
 
     def __delitem__(self, key: str) -> None:
         self.check_writable()

@@ -124,7 +124,8 @@ def storage_from_url(
         # another tenant writes (no invalidation protocol).  Callers that
         # accept staleness can opt in with cache_bytes.
         if cache_bytes:
-            remote = LRUCache(MemoryProvider("cache"), remote, cache_bytes)
+            remote = LRUCache(MemoryProvider("cache"), remote, cache_bytes,
+                              name="serve-client")
         return remote
     for scheme, kind in (("s3-sim://", "s3"), ("gcs-sim://", "gcs"),
                          ("minio-sim://", "minio")):
@@ -144,7 +145,8 @@ def storage_from_url(
                 store = PrefixedProvider(store, prefix)
             budget = DEFAULT_CACHE_BYTES if cache_bytes is None else cache_bytes
             if budget:
-                store = LRUCache(MemoryProvider("cache"), store, budget)
+                store = LRUCache(MemoryProvider("cache"), store, budget,
+                             name=f"{kind}-client")
             return store
     if url.startswith("file://"):
         return LocalProvider(url[len("file://"):])

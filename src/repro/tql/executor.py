@@ -30,6 +30,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.exceptions import TQLTypeError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.tql.planner import (
     ArrayNode,
     BinaryNode,
@@ -64,6 +66,16 @@ class Executor:
         self.scan_batch_rows = max(1, int(scan_batch_rows))
         #: tensor -> {row: raw engine value} filled by batched scans
         self._scan_cache: Dict[str, Dict[int, object]] = {}
+        ds_label = str(getattr(ds, "path", "") or "dataset")
+        self._m_rows_scanned = _metrics.counter(
+            "tql.rows_scanned", dataset=ds_label
+        )
+        self._m_scan_windows = _metrics.counter(
+            "tql.scan_windows", dataset=ds_label
+        )
+        self._h_window_rows = _metrics.histogram(
+            "tql.scan_window_rows", dataset=ds_label
+        )
 
     # ------------------------------------------------------------------ #
     # value access
@@ -89,13 +101,15 @@ class Executor:
     def _prefetch_columns(self, tensors: List[str], rows: List[int]) -> None:
         """One ReadPlan per column for this batch of rows: each chunk is
         fetched and decompressed once, then cells come from memory."""
-        for tensor in tensors:
-            engine = self.ds._engine(tensor)
-            try:
-                values = engine.read_batch(rows)
-            except Exception:  # noqa: BLE001 - fall back to per-row reads
-                continue
-            self._scan_cache[tensor] = dict(zip(rows, values))
+        with _tracing.span("tql.prefetch_columns", tensors=len(tensors),
+                           rows=len(rows)):
+            for tensor in tensors:
+                engine = self.ds._engine(tensor)
+                try:
+                    values = engine.read_batch(rows)
+                except Exception:  # noqa: BLE001 - fall back to per-row reads
+                    continue
+                self._scan_cache[tensor] = dict(zip(rows, values))
 
     def _clear_prefetched(self) -> None:
         self._scan_cache.clear()
@@ -195,15 +209,20 @@ class Executor:
             return list(rows)
         columns = plan.filter_columns() if plan.optimize else []
         out = []
-        for batch in self._scan_batches(list(rows)):
-            if columns:
-                self._prefetch_columns(columns, batch)
-            for row in batch:
-                memo: Dict[int, object] = {}
-                self.rows_scanned += 1
-                if _truthy(self.eval_node(plan.where_node, row, memo)):
-                    out.append(row)
-            self._clear_prefetched()
+        with _tracing.span("tql.filter_rows", rows=len(rows)) as sp:
+            for batch in self._scan_batches(list(rows)):
+                self._m_scan_windows.inc()
+                self._h_window_rows.observe(len(batch))
+                if columns:
+                    self._prefetch_columns(columns, batch)
+                for row in batch:
+                    memo: Dict[int, object] = {}
+                    self.rows_scanned += 1
+                    self._m_rows_scanned.inc()
+                    if _truthy(self.eval_node(plan.where_node, row, memo)):
+                        out.append(row)
+                self._clear_prefetched()
+            sp.set(kept=len(out))
         return out
 
     def order_rows(self, rows: List[int]) -> List[int]:
@@ -321,6 +340,8 @@ class Executor:
         created = False
         columns = self.plan.projection_columns() if self.plan.optimize else []
         for batch in self._scan_batches(list(rows)):
+            self._m_scan_windows.inc()
+            self._h_window_rows.observe(len(batch))
             if columns:
                 self._prefetch_columns(columns, batch)
             for row in batch:

@@ -53,3 +53,13 @@ def new_sample_id() -> int:
 
 def new_view_id() -> str:
     return _hex(8)
+
+
+def new_trace_id() -> str:
+    """16-byte hex trace identifier (observability spans)."""
+    return _hex(16)
+
+
+def new_span_id() -> str:
+    """8-byte hex span identifier (observability spans)."""
+    return _hex(8)
