@@ -82,6 +82,24 @@ _HEADER_PROBE = 4096  # first ranged request size when reading chunk headers
 _CHUNK_CACHE_BYTES = 64 * 1024 * 1024
 
 
+class _PrunedCell:
+    """Sentinel returned by :meth:`ChunkEngine.execute_plan` for rows whose
+    chunk was skipped by statistics pushdown: the chunk's [min, max] proves
+    no sample in it can satisfy the predicate, so the cell was never
+    fetched.  Falsy, so predicate code treats it as a non-match."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "<pruned>"
+
+
+PRUNED = _PrunedCell()
+
+
 class CommitDiff:
     """Per-tensor per-commit change record (feeds diff & merge, §4.2)."""
 
@@ -140,7 +158,7 @@ class ReadPlan:
     """
 
     __slots__ = ("tensor", "rows", "items", "chunk_keys", "chunk_items",
-                 "active_chunks", "seq_spans")
+                 "active_chunks", "seq_spans", "skipped_chunks")
 
     def __init__(self, tensor: str):
         self.tensor = tensor
@@ -151,6 +169,8 @@ class ReadPlan:
         self.chunk_items: Dict[str, List[Tuple[int, int]]] = {}
         self.active_chunks: Set[str] = set()  # in-memory write-back chunks
         self.seq_spans: Optional[List[Tuple[int, int]]] = None
+        #: chunks proven irrelevant by statistics pushdown (never fetched)
+        self.skipped_chunks: Set[str] = set()
 
     @property
     def num_items(self) -> int:
@@ -199,6 +219,14 @@ class ChunkEngine:
 
         # per-ancestor-commit chunk_set cache
         self._ancestor_chunk_sets: Dict[str, Set[str]] = {}
+
+        # per-chunk column statistics sidecar (min/max/count/shape bounds),
+        # the input to predicate pushdown: a chunk whose [min, max] cannot
+        # satisfy a WHERE predicate is skipped before any GET.  A missing
+        # entry means "never computed"; an explicit ``None`` means the
+        # chunk's content is not fully observable (e.g. pre-encoded Sample
+        # fast-path appends), so pruning must not trust it.
+        self.chunk_stats: Dict[str, Optional[dict]] = {}
 
         # I/O accounting: all counts are registry-backed metrics.  Each
         # engine keeps *standalone* Counter handles (exact per-engine
@@ -289,6 +317,16 @@ class ChunkEngine:
         pad = self._read_versioned(K.pad_encoder_key)
         self.pad_enc = PadEncoder.frombytes(pad) if pad else PadEncoder()
 
+        # statistics sidecar: merge the whole commit chain, nearest commit
+        # wins (a rewritten chunk's fresh stats shadow the ancestor's)
+        self.chunk_stats = {}
+        for cid in reversed(self.version_state.commit_chain()):
+            try:
+                blob = self.storage[K.chunk_stats_key(cid, self.tensor)]
+            except KeyError:
+                continue
+            self.chunk_stats.update(json_loads(blob))
+
         # chunk_set / commit_diff belong strictly to the current commit
         try:
             self.chunk_set = set(
@@ -327,6 +365,10 @@ class ChunkEngine:
             self.storage[self._state_key(K.chunk_set_key)] = json_dumps(
                 sorted(self.chunk_set)
             )
+            if self.chunk_stats:
+                self.storage[self._state_key(K.chunk_stats_key)] = json_dumps(
+                    self.chunk_stats
+                )
             self.storage[self._state_key(K.commit_diff_key)] = (
                 self.commit_diff.to_json()
             )
@@ -426,6 +468,7 @@ class ChunkEngine:
         self._c_full.inc()
         self._m_full.inc()
         self._m_bytes_decoded.inc(len(blob))
+        self._lazy_stats(name, chunk)
         return chunk
 
     # ------------------------------------------------------------------ #
@@ -502,6 +545,157 @@ class ChunkEngine:
             with self._lock:
                 self._header_cache[key] = header
         return key, header
+
+    # ------------------------------------------------------------------ #
+    # chunk statistics sidecar (predicate pushdown input)
+    # ------------------------------------------------------------------ #
+    #
+    # Lakehouse-style per-chunk column statistics: min/max over every
+    # element plus shape bounds and a sample count.  Invariant: an entry
+    # present in ``chunk_stats`` covers *all* samples of that chunk —
+    # writers widen it on every append/update, and anything that cannot
+    # be observed (pre-encoded Sample payloads, links) poisons the entry
+    # to ``None`` so pruning never trusts a partial view.
+
+    def _stats_eligible(self) -> bool:
+        m = self.meta
+        if m.is_link or m.is_text or m.is_json or m.dtype is None:
+            return False
+        return np.dtype(m.dtype).kind in "biuf"
+
+    def _stats_init(self, name: str) -> None:
+        self.chunk_stats[name] = {
+            "min": None, "max": None, "count": 0,
+            "shape_min": None, "shape_max": None,
+        }
+
+    def _stats_observe(self, name: str, arr: Optional[np.ndarray],
+                       count: int = 1) -> None:
+        """Widen chunk *name*'s stats with one observed sample.
+
+        No-op when the chunk has no entry (stats were never initialised
+        for it, e.g. pre-PR chunks); poisons the entry when the sample is
+        not observable so a stale range can never mis-prune.
+        """
+        entry = self.chunk_stats.get(name, False)
+        if entry is False or entry is None:
+            return
+        if arr is None or not self._stats_eligible():
+            self.chunk_stats[name] = None
+            return
+        entry["count"] += count
+        if arr.size:
+            lo = arr.min().item()
+            hi = arr.max().item()
+            entry["min"] = lo if entry["min"] is None else min(entry["min"], lo)
+            entry["max"] = hi if entry["max"] is None else max(entry["max"], hi)
+        shape = list(arr.shape)
+        for key, fn in (("shape_min", min), ("shape_max", max)):
+            prev = entry[key]
+            if prev == "n/a":
+                continue
+            if prev is None:
+                entry[key] = shape
+            elif len(prev) == len(shape):
+                entry[key] = [fn(a, b) for a, b in zip(prev, shape)]
+            else:  # mixed rank: no usable bound, permanently
+                entry[key] = "n/a"
+        self._dirty = True
+
+    def _stats_from_chunk(self, chunk: Chunk) -> Optional[dict]:
+        """Full stats for an already-decoded chunk (all samples visible)."""
+        self._stats_init(chunk.name)
+        for i in range(chunk.num_samples):
+            try:
+                arr = self._deserialize_sample(
+                    chunk.read_bytes(i), chunk.read_shape(i)
+                )
+            except Exception:  # noqa: BLE001 - undecodable => unprunable
+                arr = None
+            self._stats_observe(chunk.name, arr)
+        return self.chunk_stats.pop(chunk.name)
+
+    def _lazy_stats(self, name: str, chunk: Chunk) -> None:
+        """Opportunistic backfill when a pre-stats chunk gets decoded.
+
+        Only for uncompressed-sample tensors, where the chunk's data
+        section *is* the concatenated arrays — one ``frombuffer`` covers
+        every element with no extra decode work.  In-memory only: reads
+        must not trigger writes on possibly read-only datasets, but the
+        entry rides along with the next dirty :meth:`flush`.
+        """
+        if not self._stats_eligible() or self.meta.sample_compression:
+            return
+        with self._lock:
+            if name in self.chunk_stats:
+                return
+            try:
+                flat = np.frombuffer(chunk.data, dtype=np.dtype(self.meta.dtype))
+            except ValueError:
+                return
+            entry = {
+                "min": flat.min().item() if flat.size else None,
+                "max": flat.max().item() if flat.size else None,
+                "count": chunk.num_samples,
+                "shape_min": None,
+                "shape_max": None,
+            }
+            shapes = [list(chunk.read_shape(i)) for i in range(chunk.num_samples)]
+            if shapes and all(len(s) == len(shapes[0]) for s in shapes):
+                entry["shape_min"] = [min(c) for c in zip(*shapes)]
+                entry["shape_max"] = [max(c) for c in zip(*shapes)]
+            self.chunk_stats[name] = entry
+
+    def backfill_chunk_stats(self, persist: bool = True) -> int:
+        """Compute statistics for every chunk that predates the sidecar.
+
+        Decodes each missing chunk once (any codec) and records full
+        stats, so old datasets gain pushdown without a rewrite.  Returns
+        the number of chunks backfilled.
+        """
+        if not self._stats_eligible():
+            return 0
+        names: List[str] = []
+        seen: Set[str] = set()
+        for cid, _s, _e in self.enc.chunk_ranges():
+            name = ChunkIdEncoder.name_from_id(cid)
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+        done = 0
+        for name in names:
+            if name in self.chunk_stats:
+                continue
+            try:
+                chunk = self._load_chunk(name)
+            except KeyError:
+                continue
+            self.chunk_stats[name] = self._stats_from_chunk(chunk)
+            done += 1
+        if done and persist:
+            self._dirty = True
+            self.flush()
+        return done
+
+    def _is_prunable(self, name: str, bounds) -> bool:
+        """True iff stats prove no element of chunk *name* can fall in
+        every interval of *bounds* (``(lo, hi, lo_open, hi_open)`` each,
+        ``None`` meaning unbounded).  Conservative: missing or poisoned
+        stats, or an unknown range, keep the chunk."""
+        if not bounds:
+            return False
+        entry = self.chunk_stats.get(name)
+        if not entry:
+            return False
+        cmin, cmax = entry.get("min"), entry.get("max")
+        if cmin is None or cmax is None:
+            return False
+        for lo, hi, lo_open, hi_open in bounds:
+            if lo is not None and (cmax < lo or (cmax == lo and lo_open)):
+                return True
+            if hi is not None and (cmin > hi or (cmin == hi and hi_open)):
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # serialisation of user samples
@@ -639,6 +833,7 @@ class ChunkEngine:
         chunk = Chunk(dtype=self.meta.dtype)
         self.enc.register_chunk(ChunkIdEncoder.id_from_name(chunk.name), 0)
         self.chunk_set.add(chunk.name)
+        self._stats_init(chunk.name)
         self._active_chunk = chunk
         return chunk
 
@@ -669,6 +864,7 @@ class ChunkEngine:
         else:
             chunk = self._get_active_chunk(len(raw))
             chunk.append(raw, shape)
+            self._stats_observe(chunk.name, arr)
             self.enc.register_samples(1)
             if len(chunk.data) >= self.meta.max_chunk_size:
                 self._finalize_active()
@@ -700,6 +896,8 @@ class ChunkEngine:
             chunk = Chunk(dtype=self.meta.dtype)
             chunk.append(payload, tile.shape)
             self.chunk_set.add(chunk.name)
+            self._stats_init(chunk.name)
+            self._stats_observe(chunk.name, tile)
             self._write_chunk(chunk)
             chunk_ids.append(ChunkIdEncoder.id_from_name(chunk.name))
         index = self.enc.num_samples
@@ -709,9 +907,10 @@ class ChunkEngine:
     def _append_sequence(self, value) -> None:
         items = list(value)
         for item in items:
-            raw, shape, _arr = self._serialize_sample(item)
+            raw, shape, arr = self._serialize_sample(item)
             chunk = self._get_active_chunk(len(raw))
             chunk.append(raw, shape)
+            self._stats_observe(chunk.name, arr)
             self.enc.register_samples(1)
             if len(chunk.data) >= self.meta.max_chunk_size:
                 self._finalize_active()
@@ -983,7 +1182,10 @@ class ChunkEngine:
             return
         plan.chunk_keys[name] = self._chunk_storage_key(name)
 
-    def _plan_flat_items(self, plan: ReadPlan, indices: Sequence[int]) -> None:
+    def _plan_flat_items(self, plan: ReadPlan, indices: Sequence[int],
+                         bounds=None) -> None:
+        active = self._active_chunk
+        verdicts: Dict[str, bool] = {}  # chunk name -> prunable
         for idx in indices:
             pos = len(plan.items)
             if self.pad_enc.is_padded(idx):
@@ -1000,16 +1202,36 @@ class ChunkEngine:
                 continue
             chunk_id, local = self.enc.translate(idx)
             name = ChunkIdEncoder.name_from_id(chunk_id)
+            if bounds is not None:
+                prunable = verdicts.get(name)
+                if prunable is None:
+                    prunable = (
+                        (active is None or active.name != name)
+                        and self._is_prunable(name, bounds)
+                    )
+                    verdicts[name] = prunable
+                if prunable:
+                    plan.items.append(("pruned",))
+                    plan.skipped_chunks.add(name)
+                    continue
             plan.items.append(("sample", name, local))
             self._plan_note_chunk(plan, name, pos, local)
 
-    def plan_reads(self, rows: Sequence[int]) -> ReadPlan:
+    def plan_reads(self, rows: Sequence[int], bounds=None) -> ReadPlan:
         """Group *rows* by owning chunk into an executable :class:`ReadPlan`.
 
         Rows may repeat and arrive in any order; each referenced chunk's
         storage key is resolved against the commit chain exactly once.
         Sequence rows expand to their flat item ranges, tiled samples pull
         in every tile chunk, padded rows need no storage at all.
+
+        *bounds* (optional) is a list of necessary-condition intervals
+        ``(lo, hi, lo_open, hi_open)`` on the column's values: a chunk
+        whose recorded [min, max] cannot intersect one of them is skipped
+        entirely — its rows come back as the falsy :data:`PRUNED`
+        sentinel and *zero* storage GETs are issued for it.  Only whole
+        plain-sample chunks are pruned; tiled, padded, sequence and
+        active-chunk rows are always read.
         """
         plan = ReadPlan(self.tensor)
         plan.rows = self._normalize_rows(rows)
@@ -1025,7 +1247,7 @@ class ChunkEngine:
                         flat.extend(range(start, end))
                     self._plan_flat_items(plan, flat)
                 else:
-                    self._plan_flat_items(plan, plan.rows)
+                    self._plan_flat_items(plan, plan.rows, bounds=bounds)
             self._m_chunks_planned.inc(len(plan.chunk_keys))
             self._h_plan_chunks.observe(len(plan.chunk_keys))
             sp.set(chunks=plan.num_chunks)
@@ -1064,6 +1286,8 @@ class ChunkEngine:
     def _item_value(self, spec: Tuple, chunks: Dict[str, Chunk],
                     decode: bool):
         kind = spec[0]
+        if kind == "pruned":
+            return PRUNED
         if kind == "pad":
             return self.empty_sample() if decode else b""
         if kind == "tiled":
@@ -1217,6 +1441,9 @@ class ChunkEngine:
             if not self._chunk_owned_by_current(name):
                 self._own_chunk(chunk)
             chunk.update(local, raw, shape)
+            # widen-only (count=0): the replaced value may still define the
+            # recorded min/max, so the range stays a safe superset
+            self._stats_observe(name, arr, count=0)
             self._write_chunk(chunk)
         self.meta.update_shape_interval(shape)
         self.commit_diff.update(index)
@@ -1245,6 +1472,7 @@ class ChunkEngine:
                 else tile.tobytes()
             )
             chunk.update(0, payload, tile.shape)
+            self._stats_observe(name, tile, count=0)
             self._write_chunk(chunk)
 
     def pad_to(self, length: int) -> None:
@@ -1345,6 +1573,7 @@ class ChunkEngine:
             except KeyError:
                 pass
             self._cache_drop(key)
+            self.chunk_stats.pop(name, None)
         self.enc = new_enc
         self.tile_enc = new_tiles
         self._dirty = True

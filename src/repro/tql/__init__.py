@@ -11,8 +11,9 @@
 
 Pipeline: :func:`parse` -> :func:`~repro.tql.planner.build_plan`
 (computational graph with CSE, pushdown, shape fast path) ->
-:class:`~repro.tql.executor.Executor` (per-row memoised evaluation) ->
-dataset view or materialised dataset with query lineage.
+:class:`~repro.tql.executor.Executor` (vectorized columnar kernels over
+chunk-batched scans, with chunk-statistics predicate pushdown; see
+docs/tql.md) -> dataset view or materialised dataset with query lineage.
 """
 
 from __future__ import annotations

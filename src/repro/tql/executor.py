@@ -1,18 +1,22 @@
-"""Executor of TQL plans: evaluates the tensor-op graph over dataset rows.
+"""Executor of TQL plans: runs the tensor-op graph over dataset rows.
 
-Expression evaluation is row-at-a-time with per-row memoisation over the
-deduplicated graph (so shared subexpressions — the planner's CSE — are
-computed once), with predicate pushdown: when optimisation is on, the
-WHERE clause runs first touching only its own columns, and
-projections/order keys are only computed for surviving rows.
+With optimisation on (the default), execution is *columnar*: rows are
+walked in scan batches, every referenced column is prefetched through
+one chunk-granular :class:`~repro.core.chunk_engine.ReadPlan` per batch,
+and the node graph is evaluated by the vectorized kernels of
+:mod:`repro.tql.kernels` over whole column batches — WHERE becomes a
+boolean mask, ORDER BY / SAMPLE BY / GROUP BY key evaluation rides the
+same scan cache (no per-cell storage reads anywhere), and aggregates
+reduce per batch with partials merged across batches.  The WHERE clause
+additionally compiles to per-column value intervals
+(:func:`~repro.tql.kernels.column_bounds`) that
+:meth:`~repro.core.chunk_engine.ChunkEngine.plan_reads` checks against
+the per-chunk statistics sidecar: chunks that cannot satisfy the
+predicate are skipped before any storage GET.
 
-Column I/O, however, is chunk-granular: the scan stages (WHERE and
-materialised projections) walk rows in batches and prefetch every
-referenced column through
-:meth:`~repro.core.chunk_engine.ChunkEngine.read_batch`, so each chunk is
-fetched + decompressed once per scan instead of once per cell.
-``optimize=False`` (the ablation mode) keeps the historical per-row
-fetches.
+``optimize=False`` (the ablation mode) keeps the historical row-at-a-time
+evaluation — per-row memoised :meth:`eval_node` with per-cell engine
+reads — so benchmarks can quantify the vectorized engine's win.
 
 Results come back as datasets (§4.4: TQL "constructs views of datasets,
 which can be visualized or directly streamed"):
@@ -25,13 +29,22 @@ which can be visualized or directly streamed"):
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.exceptions import TQLTypeError
+from repro.core.chunk_engine import PRUNED
+from repro.exceptions import FormatError, StorageError
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
+from repro.tql import kernels
+from repro.tql.kernels import (  # noqa: F401 - shared scalar kernels
+    _arith,
+    _compare,
+    _group_key,
+    _truthy,
+)
 from repro.tql.planner import (
     ArrayNode,
     BinaryNode,
@@ -44,6 +57,7 @@ from repro.tql.planner import (
     ShapeNode,
     SubscriptNode,
     UnaryNode,
+    _node_columns,
 )
 
 
@@ -62,7 +76,14 @@ class Executor:
         self.rng = np.random.default_rng(seed)
         self._decoders: Dict[str, tuple] = {}
         self.rows_scanned = 0
+        #: cells materialised by the engine (prefetched or read per row);
+        #: scan-cache hits are counted separately in :attr:`cache_hits`
         self.cells_fetched = 0
+        self.cache_hits = 0
+        #: prefetches that degraded to per-row reads (storage/decode errors)
+        self.prefetch_fallbacks = 0
+        #: chunks proven irrelevant by statistics pushdown (zero GETs)
+        self.chunks_skipped = 0
         self.scan_batch_rows = max(1, int(scan_batch_rows))
         #: tensor -> {row: raw engine value} filled by batched scans
         self._scan_cache: Dict[str, Dict[int, object]] = {}
@@ -75,6 +96,21 @@ class Executor:
         )
         self._h_window_rows = _metrics.histogram(
             "tql.scan_window_rows", dataset=ds_label
+        )
+        self._m_cells_fetched = _metrics.counter(
+            "tql.cells_fetched", dataset=ds_label
+        )
+        self._m_cache_hits = _metrics.counter(
+            "tql.cache_hits", dataset=ds_label
+        )
+        self._m_prefetch_fallbacks = _metrics.counter(
+            "tql.prefetch_fallbacks", dataset=ds_label
+        )
+        self._m_chunks_skipped = _metrics.counter(
+            "tql.chunks_skipped", dataset=ds_label
+        )
+        self._h_kernel = _metrics.histogram(
+            "tql.kernel_seconds", dataset=ds_label
         )
 
     # ------------------------------------------------------------------ #
@@ -92,23 +128,47 @@ class Executor:
 
     def _read_cell(self, tensor: str, row: int):
         engine = self.ds._engine(tensor)
-        self.cells_fetched += 1
         cached = self._scan_cache.get(tensor)
         if cached is not None and row in cached:
-            return self._decode_cell(engine, cached[row])
+            value = cached[row]
+            if value is PRUNED:
+                return PRUNED
+            self.cache_hits += 1
+            self._m_cache_hits.inc()
+            return self._decode_cell(engine, value)
+        self.cells_fetched += 1
+        self._m_cells_fetched.inc()
         return self._decode_cell(engine, engine.read_sample(row))
 
-    def _prefetch_columns(self, tensors: List[str], rows: List[int]) -> None:
+    def _prefetch_columns(self, tensors: List[str], rows: List[int],
+                          bounds: Optional[dict] = None) -> None:
         """One ReadPlan per column for this batch of rows: each chunk is
-        fetched and decompressed once, then cells come from memory."""
+        fetched and decompressed once, then cells come from memory.
+
+        *bounds* (tensor -> interval list) enables statistics pushdown:
+        chunks that cannot satisfy the WHERE predicate are skipped with
+        zero GETs and their rows cached as the :data:`PRUNED` sentinel.
+        Only storage/decode failures degrade to per-row reads (counted
+        in ``tql.prefetch_fallbacks``); programming errors propagate.
+        """
         with _tracing.span("tql.prefetch_columns", tensors=len(tensors),
                            rows=len(rows)):
             for tensor in tensors:
                 engine = self.ds._engine(tensor)
+                tensor_bounds = bounds.get(tensor) if bounds else None
                 try:
-                    values = engine.read_batch(rows)
-                except Exception:  # noqa: BLE001 - fall back to per-row reads
+                    plan = engine.plan_reads(rows, bounds=tensor_bounds)
+                    values = engine.execute_plan(plan)
+                except (StorageError, FormatError):
+                    self.prefetch_fallbacks += 1
+                    self._m_prefetch_fallbacks.inc()
                     continue
+                if plan.skipped_chunks:
+                    self.chunks_skipped += len(plan.skipped_chunks)
+                    self._m_chunks_skipped.inc(len(plan.skipped_chunks))
+                fetched = sum(1 for v in values if v is not PRUNED)
+                self.cells_fetched += fetched
+                self._m_cells_fetched.inc(fetched)
                 self._scan_cache[tensor] = dict(zip(rows, values))
 
     def _clear_prefetched(self) -> None:
@@ -120,7 +180,8 @@ class Executor:
             yield rows[i : i + step]
 
     # ------------------------------------------------------------------ #
-    # graph evaluation
+    # graph evaluation (row-at-a-time: the optimize=False ablation path,
+    # also the reference semantics the batch kernels must reproduce)
     # ------------------------------------------------------------------ #
 
     def eval_node(self, node: Node, row: int, memo: Dict[int, object]):
@@ -192,6 +253,38 @@ class Executor:
         return result
 
     # ------------------------------------------------------------------ #
+    # batched evaluation helpers (the vectorized path)
+    # ------------------------------------------------------------------ #
+
+    def _eval_rows(self, node: Node, rows: List[int]) -> List:
+        """Per-row values of *node* for many rows, batch-prefetching the
+        columns it reads — ORDER BY / SAMPLE BY keys cost one GET per
+        chunk, not one per cell."""
+        if not self.plan.optimize:
+            return [self.eval_node(node, r, {}) for r in rows]
+        columns = _node_columns([node])
+        out: List = []
+        for batch in self._scan_batches(list(rows)):
+            if columns:
+                self._prefetch_columns(columns, batch)
+            t0 = time.perf_counter()
+            evaluator = kernels.BatchEvaluator(self, batch)
+            out.extend(evaluator.values(node))
+            self._h_kernel.observe(time.perf_counter() - t0)
+            self._clear_prefetched()
+        return out
+
+    def _row_pruned(self, row: int, bounds: dict) -> bool:
+        """True when statistics pushdown proved *row* cannot match: some
+        bounded column's cell sits in a chunk whose [min, max] misses the
+        predicate's necessary interval."""
+        for tensor in bounds:
+            cached = self._scan_cache.get(tensor)
+            if cached is not None and cached.get(row) is PRUNED:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
     # stages
     # ------------------------------------------------------------------ #
 
@@ -207,22 +300,45 @@ class Executor:
         plan = self.plan
         if plan.where_node is None:
             return list(rows)
-        columns = plan.filter_columns() if plan.optimize else []
+        if not plan.optimize:
+            out = []
+            with _tracing.span("tql.filter_rows", rows=len(rows)) as sp:
+                for batch in self._scan_batches(list(rows)):
+                    self._m_scan_windows.inc()
+                    self._h_window_rows.observe(len(batch))
+                    for row in batch:
+                        memo: Dict[int, object] = {}
+                        self.rows_scanned += 1
+                        self._m_rows_scanned.inc()
+                        if _truthy(self.eval_node(plan.where_node, row, memo)):
+                            out.append(row)
+                sp.set(kept=len(out))
+            return out
+
+        columns = plan.filter_columns()
+        bounds = kernels.column_bounds(plan.where_node)
         out = []
         with _tracing.span("tql.filter_rows", rows=len(rows)) as sp:
             for batch in self._scan_batches(list(rows)):
                 self._m_scan_windows.inc()
                 self._h_window_rows.observe(len(batch))
+                self.rows_scanned += len(batch)
+                self._m_rows_scanned.inc(len(batch))
                 if columns:
-                    self._prefetch_columns(columns, batch)
-                for row in batch:
-                    memo: Dict[int, object] = {}
-                    self.rows_scanned += 1
-                    self._m_rows_scanned.inc()
-                    if _truthy(self.eval_node(plan.where_node, row, memo)):
-                        out.append(row)
+                    self._prefetch_columns(columns, batch, bounds=bounds)
+                survivors = batch
+                if bounds:
+                    survivors = [
+                        r for r in batch if not self._row_pruned(r, bounds)
+                    ]
+                if survivors:
+                    t0 = time.perf_counter()
+                    evaluator = kernels.BatchEvaluator(self, survivors)
+                    mask = evaluator.mask(plan.where_node)
+                    self._h_kernel.observe(time.perf_counter() - t0)
+                    out.extend(r for r, m in zip(survivors, mask) if m)
                 self._clear_prefetched()
-            sp.set(kept=len(out))
+            sp.set(kept=len(out), pruned_chunks=self.chunks_skipped)
         return out
 
     def order_rows(self, rows: List[int]) -> List[int]:
@@ -232,14 +348,12 @@ class Executor:
         keyed = rows
         # ORDER BY: stable sorts applied from the last key to the first
         for node, ascending in reversed(plan.order_nodes):
-            values = [
-                self.eval_node(node, row, {}) for row in keyed
-            ]
+            values = self._eval_rows(node, keyed)
             order = _stable_argsort(values, ascending)
             keyed = [keyed[i] for i in order]
         # ARRANGE BY: stable grouping of the (already ordered) result
         for node in reversed(plan.arrange_nodes):
-            values = [self.eval_node(node, row, {}) for row in keyed]
+            values = self._eval_rows(node, keyed)
             order = _stable_argsort(values, True)
             keyed = [keyed[i] for i in order]
         return keyed
@@ -250,8 +364,8 @@ class Executor:
             return rows
         weights = np.asarray(
             [
-                max(0.0, float(np.mean(self.eval_node(plan.sample_node, r, {}))))
-                for r in rows
+                max(0.0, float(np.mean(v)))
+                for v in self._eval_rows(plan.sample_node, rows)
             ],
             dtype=np.float64,
         )
@@ -280,7 +394,6 @@ class Executor:
 
     def run(self, query_string: str):
         plan = self.plan
-        ds = self.ds
         rows = self.source_rows()
 
         if not plan.optimize:
@@ -316,18 +429,27 @@ class Executor:
             view._tensor_filter = list(tensor_filter)
         return view
 
-    def _infer_and_create(self, out, name: str, value) -> None:
-        if isinstance(value, str):
+    def _infer_and_create(self, out, name: str, values: List) -> None:
+        """Create output tensor *name* from the first batch of values.
+
+        Numeric dtypes widen over the whole batch via ``np.result_type``
+        so a first-row int no longer downcasts the floats that follow;
+        text/json are decided by the first value, as before.
+        """
+        first = values[0]
+        if isinstance(first, str):
             out.create_tensor(name, htype="text",
                               create_shape_tensor=False, create_id_tensor=False)
-        elif isinstance(value, (dict, list)):
+        elif isinstance(first, (dict, list)):
             out.create_tensor(name, htype="json",
                               create_shape_tensor=False, create_id_tensor=False)
         else:
-            arr = np.asarray(value)
+            dtypes = {np.asarray(v).dtype for v in values
+                      if not isinstance(v, (str, dict, list))}
+            dtype = np.result_type(*dtypes)
             out.create_tensor(
                 name,
-                dtype=arr.dtype.name,
+                dtype=dtype.name,
                 create_shape_tensor=False,
                 create_id_tensor=False,
             )
@@ -335,25 +457,43 @@ class Executor:
     def _materialize_projections(self, rows: List[int], query_string: str):
         import repro as _api
 
+        plan = self.plan
         out = _api.empty(f"mem://tql-{id(self)}", overwrite=True)
         out.query_string = query_string
         created = False
-        columns = self.plan.projection_columns() if self.plan.optimize else []
+        columns = plan.projection_columns() if plan.optimize else []
         for batch in self._scan_batches(list(rows)):
             self._m_scan_windows.inc()
             self._h_window_rows.observe(len(batch))
             if columns:
                 self._prefetch_columns(columns, batch)
-            for row in batch:
-                memo: Dict[int, object] = {}
-                values = {
-                    name: self.eval_node(node, row, memo)
-                    for name, node in self.plan.projections
+            if plan.optimize:
+                t0 = time.perf_counter()
+                evaluator = kernels.BatchEvaluator(self, batch)
+                cols = {
+                    name: evaluator.values(node)
+                    for name, node in plan.projections
                 }
-                if not created:
-                    for name, value in values.items():
-                        self._infer_and_create(out, name, value)
-                    created = True
+                self._h_kernel.observe(time.perf_counter() - t0)
+                batch_rows = [
+                    {name: cols[name][i] for name in cols}
+                    for i in range(len(batch))
+                ]
+            else:
+                batch_rows = []
+                for row in batch:
+                    memo: Dict[int, object] = {}
+                    batch_rows.append({
+                        name: self.eval_node(node, row, memo)
+                        for name, node in plan.projections
+                    })
+            if not created and batch_rows:
+                for name, _node in plan.projections:
+                    self._infer_and_create(
+                        out, name, [r[name] for r in batch_rows]
+                    )
+                created = True
+            for values in batch_rows:
                 out.append(
                     {k: (np.asarray(v) if not isinstance(v, (str, dict, list))
                          else v)
@@ -361,7 +501,7 @@ class Executor:
                 )
             self._clear_prefetched()
         if not created:
-            for name, _node in self.plan.projections:
+            for name, _node in plan.projections:
                 out.create_tensor(name, dtype="float64",
                                   create_shape_tensor=False,
                                   create_id_tensor=False)
@@ -370,37 +510,73 @@ class Executor:
         out.flush()
         return out
 
+    def _vectorized_groups(self, rows: List[int]) -> List[Dict[str, object]]:
+        """Streaming GROUP BY: per batch, keys and aggregate inputs come
+        from one kernel pass over prefetched columns; per-group partials
+        merge across batches (O(chunks) GETs, O(groups) memory plus one
+        scalar per row for the reduced aggregates)."""
+        plan = self.plan
+        nodes = list(plan.group_nodes) + [
+            node for _n, _a, node in plan.agg_projections if node is not None
+        ]
+        columns = _node_columns(nodes)
+        accumulator = kernels.GroupAccumulator(plan.agg_projections)
+        for batch in self._scan_batches(list(rows)):
+            self._m_scan_windows.inc()
+            self._h_window_rows.observe(len(batch))
+            if columns:
+                self._prefetch_columns(columns, batch)
+            t0 = time.perf_counter()
+            evaluator = kernels.BatchEvaluator(self, batch)
+            key_cols = [evaluator.values(n) for n in plan.group_nodes]
+            keys = [
+                tuple(_group_key(col[i]) for col in key_cols)
+                for i in range(len(batch))
+            ]
+            accumulator.add_batch(keys, accumulator.batch_inputs(evaluator))
+            self._h_kernel.observe(time.perf_counter() - t0)
+            self._clear_prefetched()
+        return [values for _key, values in accumulator.finalize()]
+
     def _materialize_groups(self, rows: List[int], query_string: str):
         import repro as _api
 
         plan = self.plan
-        groups: Dict[tuple, List[int]] = {}
-        for row in rows:
-            memo: Dict[int, object] = {}
-            key = tuple(
-                _group_key(self.eval_node(node, row, memo))
-                for node in plan.group_nodes
-            )
-            groups.setdefault(key, []).append(row)
+        if plan.optimize:
+            group_rows = self._vectorized_groups(rows)
+        else:
+            from repro.tql.functions import get_agg_function
 
-        from repro.tql.functions import get_agg_function
+            groups: Dict[tuple, List[int]] = {}
+            for row in rows:
+                memo: Dict[int, object] = {}
+                key = tuple(
+                    _group_key(self.eval_node(node, row, memo))
+                    for node in plan.group_nodes
+                )
+                groups.setdefault(key, []).append(row)
+            group_rows = []
+            for key in sorted(groups, key=lambda k: tuple(str(x) for x in k)):
+                members = groups[key]
+                values = {}
+                for name, agg_name, node in plan.agg_projections:
+                    fn = get_agg_function(agg_name)
+                    if node is None:  # COUNT()
+                        values[name] = fn(members)
+                    else:
+                        per_row = [self.eval_node(node, r, {}) for r in members]
+                        values[name] = fn(per_row)
+                group_rows.append(values)
 
         out = _api.empty(f"mem://tql-{id(self)}", overwrite=True)
         out.query_string = query_string
         created = False
-        for key in sorted(groups, key=lambda k: tuple(str(x) for x in k)):
-            members = groups[key]
-            values = {}
-            for name, agg_name, node in plan.agg_projections:
-                fn = get_agg_function(agg_name)
-                if node is None:  # COUNT()
-                    values[name] = fn(members)
-                else:
-                    per_row = [self.eval_node(node, r, {}) for r in members]
-                    values[name] = fn(per_row)
+        for values in group_rows:
             if not created:
-                for name, value in values.items():
-                    self._infer_and_create(out, name, value)
+                for name in values:
+                    self._infer_and_create(
+                        out, name, [g[name] for g in group_rows]
+                    )
                 created = True
             out.append(
                 {k: (np.asarray(v) if not isinstance(v, (str, dict, list))
@@ -414,33 +590,11 @@ class Executor:
 
 
 # ---------------------------------------------------------------------------
-# small helpers
+# small helpers (scalar kernels live in repro.tql.kernels and are
+# re-imported above so both execution modes share one set of semantics)
 # ---------------------------------------------------------------------------
 
-
-def _truthy(value) -> bool:
-    if isinstance(value, np.ndarray):
-        return bool(np.all(value)) if value.size else False
-    return bool(value)
-
-
-def _arith(op: str, a, b):
-    import operator as _op
-
-    table = {"+": _op.add, "-": _op.sub, "*": _op.mul, "/": _op.truediv,
-             "%": _op.mod}
-    return table[op](a, b)
-
-
-def _compare(op: str, a, b) -> bool:
-    import operator as _op
-
-    table = {"==": _op.eq, "!=": _op.ne, "<": _op.lt, "<=": _op.le,
-             ">": _op.gt, ">=": _op.ge}
-    result = table[op](a, b)
-    if isinstance(result, np.ndarray):
-        return bool(np.all(result)) if result.size else False
-    return bool(result)
+from repro.exceptions import TQLTypeError  # noqa: E402
 
 
 def _sort_token(value):
@@ -471,9 +625,3 @@ def _stable_argsort(values: List, ascending: bool) -> List[int]:
             out.extend(block)
         return out
     return order
-
-
-def _group_key(value):
-    if isinstance(value, np.ndarray):
-        return tuple(value.ravel().tolist())
-    return value

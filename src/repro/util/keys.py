@@ -35,6 +35,7 @@ SEQUENCE_ENCODER_FILENAME = "sequence_encoder"
 PAD_ENCODER_FILENAME = "pad_encoder"
 COMMIT_DIFF_FILENAME = "commit_diff.json"
 CHUNK_SET_FILENAME = "chunk_set.json"
+CHUNK_STATS_FILENAME = "chunk_stats.json"
 LOCKS_FOLDER = "locks"
 QUERIES_FOLDER = "queries"
 
@@ -84,6 +85,10 @@ def commit_diff_key(commit_id: str, tensor: str) -> str:
 
 def chunk_set_key(commit_id: str, tensor: str) -> str:
     return f"{commit_root(commit_id)}{tensor}/{CHUNK_SET_FILENAME}"
+
+
+def chunk_stats_key(commit_id: str, tensor: str) -> str:
+    return f"{commit_root(commit_id)}{tensor}/{CHUNK_STATS_FILENAME}"
 
 
 def version_control_info_key() -> str:
