@@ -13,7 +13,7 @@ import time
 import pytest
 
 import repro
-from benchmarks.conftest import print_table, scaled
+from benchmarks.conftest import bench_record, print_table, scaled
 from repro.baselines import (
     n5_like,
     parquet_like,
@@ -22,6 +22,9 @@ from repro.baselines import (
     zarr_like,
     write_beton,
 )
+from repro.core.chunk_engine import write_pipeline
+from repro.sim import SimClock
+from repro.storage import make_object_store
 from repro.workloads import ffhq_like
 
 N = scaled(32, minimum=8)
@@ -102,6 +105,81 @@ def test_ingest_parquet(benchmark, tmp_path):
         "parquet", benchmark,
         lambda: parquet_like.write_images(str(tmp_path / "pq"), _images(), N),
     )
+
+
+def test_ingest_pipelined_vs_serial_cloud():
+    """Tentpole scoreboard: the pipelined write path (staged batches,
+    worker-thread serialization, one ``set_many`` upload per chunk batch)
+    against the serial ablation (pipeline disabled: one PUT per chunk,
+    individual bookkeeping writes) on simulated S3.
+
+    Virtual seconds come from the network cost model, so the speedup
+    measures exactly what the write path controls: round trips.  Emits
+    ``BENCH_ingestion.json`` — the per-PR perf record CI asserts on.
+    """
+    images = list(_images())
+
+    def ingest(pipelined: bool):
+        store = make_object_store("s3", clock=SimClock())
+        ds = repro.empty(store, overwrite=True)
+        ds.create_tensor(
+            "images", htype="image", sample_compression="none",
+            create_shape_tensor=False, create_id_tensor=False,
+            max_chunk_size=RES * RES * 3 * 2,  # ~2 images per chunk
+        )
+        base = dict(store.requests_by_op)
+        v0, w0 = store.clock.now(), time.perf_counter()
+        with write_pipeline(enabled=pipelined, watermark_chunks=8):
+            ds.images.extend(images)
+            ds.flush()
+        # write-phase PUT round trips only (dataset creation excluded)
+        deltas = {
+            op: store.requests_by_op.get(op, 0) - base.get(op, 0)
+            for op in ("upload", "upload_batch")
+        }
+        return store, deltas, store.clock.now() - v0, time.perf_counter() - w0
+
+    serial_store, serial_ops, serial_virtual, serial_wall = ingest(False)
+    pipe_store, pipe_ops, pipe_virtual, pipe_wall = ingest(True)
+
+    serial_puts = serial_ops["upload"] + serial_ops["upload_batch"]
+    pipe_batches = pipe_ops["upload_batch"]
+    pipe_puts = pipe_ops["upload"]
+    speedup = serial_virtual / pipe_virtual
+
+    print_table(
+        f"Fig 6b | cloud ingest {N} x {RES}x{RES}x3 onto simulated S3 "
+        "(virtual seconds, lower=better)",
+        [
+            {"write path": "serial (ablation)",
+             "virtual_s": round(serial_virtual, 3),
+             "put_requests": serial_puts, "batches": 0},
+            {"write path": "pipelined",
+             "virtual_s": round(pipe_virtual, 3),
+             "put_requests": pipe_puts, "batches": pipe_batches},
+        ],
+        note=f"speedup {speedup:.1f}x; batching amortizes per-request "
+             "overhead across each flushed chunk batch",
+    )
+    bench_record("ingestion", {
+        "n_images": N,
+        "resolution": RES,
+        "serial_virtual_s": round(serial_virtual, 6),
+        "pipelined_virtual_s": round(pipe_virtual, 6),
+        "speedup": round(speedup, 3),
+        "serial_put_requests": serial_puts,
+        "pipelined_put_requests": pipe_puts,
+        "pipelined_upload_batches": pipe_batches,
+        "serial_wall_s": round(serial_wall, 6),
+        "pipelined_wall_s": round(pipe_wall, 6),
+    })
+
+    # acceptance: pipelined >= 2x faster, with fewer backend PUT round trips
+    assert pipe_virtual * 2 <= serial_virtual, (
+        f"pipelined {pipe_virtual:.3f}s vs serial {serial_virtual:.3f}s"
+    )
+    assert serial_puts > 0
+    assert pipe_batches + pipe_puts < serial_puts
 
 
 def test_zz_fig6_report(benchmark):

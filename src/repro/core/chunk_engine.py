@@ -45,6 +45,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -80,6 +82,40 @@ from repro.util.json_util import json_dumps, json_loads
 
 _HEADER_PROBE = 4096  # first ranged request size when reading chunk headers
 _CHUNK_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Write-pipeline knobs (process-global, mirroring the ReadPlan layer):
+#: ``enabled`` buffers finalized chunks in memory and uploads them in
+#: batched :meth:`~repro.storage.provider.StorageProvider.set_many` calls
+#: (one request overhead per batch on object storage) with flush ordering
+#: chunks -> encoders -> meta; disabled is the pre-pipeline serial path
+#: (one PUT per chunk at finalize time, individual bookkeeping writes) kept
+#: as the benchmark ablation.  ``workers`` bounds the serialization /
+#: compression thread pool; ``watermark_chunks`` is how many finalized
+#: chunks may accumulate before a commit triggers a background-free upload
+#: batch, bounding write-buffer memory to ~watermark * max_chunk_size.
+_WRITE_PIPELINE = {"enabled": True, "workers": 4, "watermark_chunks": 8}
+
+
+@contextmanager
+def write_pipeline(enabled=None, workers=None, watermark_chunks=None):
+    """Temporarily reconfigure the write pipeline (tests / ablations).
+
+    ``with write_pipeline(enabled=False): ...`` restores the serial
+    one-PUT-per-chunk write path; ``workers=1`` keeps batching but drops
+    parallel serialization.
+    """
+    prev = dict(_WRITE_PIPELINE)
+    if enabled is not None:
+        _WRITE_PIPELINE["enabled"] = bool(enabled)
+    if workers is not None:
+        _WRITE_PIPELINE["workers"] = max(1, int(workers))
+    if watermark_chunks is not None:
+        _WRITE_PIPELINE["watermark_chunks"] = max(1, int(watermark_chunks))
+    try:
+        yield
+    finally:
+        _WRITE_PIPELINE.clear()
+        _WRITE_PIPELINE.update(prev)
 
 
 class _PrunedCell:
@@ -194,6 +230,48 @@ class ReadPlan:
         )
 
 
+class WritePlan:
+    """Staged samples awaiting an atomic commit — the write mirror of
+    :class:`ReadPlan`.
+
+    Staging (:meth:`ChunkEngine.stage_appends`) runs every fallible step —
+    coercion, validation, sample compression — *without touching engine
+    state*, fanning the serialization work out over a thread pool.
+    Committing (:meth:`ChunkEngine.commit_appends`) then only moves
+    already-serialized payloads into chunks and registers them, under the
+    engine lock, with a cheap truncation snapshot so a failure anywhere in
+    the batch rolls the engine back to the pre-commit state.
+
+    ``entries`` holds one spec per appended row, in request order:
+    ``("flat", value, [(raw, shape, arr)])`` for plain samples (one
+    payload) and ``("seq", value, [(raw, shape, arr), ...])`` for sequence
+    rows (one payload per item).
+    """
+
+    __slots__ = ("tensor", "entries")
+
+    def __init__(self, tensor: str):
+        self.tensor = tensor
+        self.entries: List[Tuple] = []
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_bytes(self) -> int:
+        return sum(
+            len(raw) for _k, _v, payloads in self.entries
+            for raw, _shape, _arr in payloads
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WritePlan(tensor={self.tensor!r}, rows={self.num_rows}, "
+            f"bytes={self.num_bytes})"
+        )
+
+
 class ChunkEngine:
     """Reads and writes one tensor's chunks against a storage provider."""
 
@@ -264,8 +342,19 @@ class ChunkEngine:
             "chunk_engine.plan_chunks", tensor=tensor
         )
 
+        self._m_chunks_flushed = reg.counter(
+            "chunk_engine.chunks_flushed", tensor=tensor
+        )
+        self._h_flush_batch = reg.histogram(
+            "chunk_engine.flush_batch_chunks", tensor=tensor
+        )
+
         # write-back chunk being filled by appends (not yet in storage)
         self._active_chunk: Optional[Chunk] = None
+        # finalized chunks buffered for a batched upload (write pipeline);
+        # authoritative until _flush_pending hands them to storage — every
+        # read path consults _mem_chunk() so buffered data stays readable
+        self._pending_chunks: "OrderedDict[str, Chunk]" = OrderedDict()
 
         if meta is not None:
             self.meta = meta
@@ -342,36 +431,58 @@ class ChunkEngine:
             self.commit_diff = CommitDiff(self.meta.length)
         self._dirty = False
 
+    def _encoder_items(self) -> Dict[str, bytes]:
+        items = {
+            self._state_key(K.chunk_id_encoder_key): self.enc.tobytes()
+        }
+        if self.tile_enc.num_tiled:
+            items[self._state_key(K.tile_encoder_key)] = self.tile_enc.tobytes()
+        if self.meta.is_sequence:
+            items[self._state_key(K.sequence_encoder_key)] = (
+                self.seq_enc.tobytes()
+            )
+        if self.pad_enc.num_padded:
+            items[self._state_key(K.pad_encoder_key)] = self.pad_enc.tobytes()
+        return items
+
+    def _meta_items(self) -> Dict[str, bytes]:
+        items = {
+            self._state_key(K.tensor_meta_key): self.meta.to_json(),
+            self._state_key(K.chunk_set_key): json_dumps(
+                sorted(self.chunk_set)
+            ),
+        }
+        if self.chunk_stats:
+            items[self._state_key(K.chunk_stats_key)] = json_dumps(
+                self.chunk_stats
+            )
+        items[self._state_key(K.commit_diff_key)] = self.commit_diff.to_json()
+        return items
+
     def flush(self) -> None:
-        """Persist meta, encoders and bookkeeping for the current commit."""
+        """Persist buffered chunks, meta, encoders and bookkeeping for the
+        current commit — in crash-consistent order.
+
+        Durability order is chunk payloads, then encoders, then
+        meta/bookkeeping: a crash between stages strands at worst
+        unreferenced chunk blobs (garbage), never an encoder or meta file
+        pointing at a chunk that was never uploaded.  With the write
+        pipeline enabled each stage goes down as one batched ``set_many``;
+        disabled, the pre-pipeline individual writes are kept (the serial
+        benchmark ablation), with the same ordering guarantee.
+        """
         with self._lock:
             self._finalize_active()
+            self._flush_pending()
             if not self._dirty:
                 return
-            self.storage[self._state_key(K.tensor_meta_key)] = self.meta.to_json()
-            self.storage[self._state_key(K.chunk_id_encoder_key)] = self.enc.tobytes()
-            if self.tile_enc.num_tiled:
-                self.storage[self._state_key(K.tile_encoder_key)] = (
-                    self.tile_enc.tobytes()
-                )
-            if self.meta.is_sequence:
-                self.storage[self._state_key(K.sequence_encoder_key)] = (
-                    self.seq_enc.tobytes()
-                )
-            if self.pad_enc.num_padded:
-                self.storage[self._state_key(K.pad_encoder_key)] = (
-                    self.pad_enc.tobytes()
-                )
-            self.storage[self._state_key(K.chunk_set_key)] = json_dumps(
-                sorted(self.chunk_set)
-            )
-            if self.chunk_stats:
-                self.storage[self._state_key(K.chunk_stats_key)] = json_dumps(
-                    self.chunk_stats
-                )
-            self.storage[self._state_key(K.commit_diff_key)] = (
-                self.commit_diff.to_json()
-            )
+            if _WRITE_PIPELINE["enabled"]:
+                self.storage.set_many(self._encoder_items())
+                self.storage.set_many(self._meta_items())
+            else:
+                for items in (self._encoder_items(), self._meta_items()):
+                    for key, value in items.items():
+                        self.storage[key] = value
             self._dirty = False
 
     def reload(self) -> None:
@@ -392,6 +503,7 @@ class ChunkEngine:
         """
         with self._lock:
             self._active_chunk = None
+            self._pending_chunks.clear()
             self.chunk_set = set()
             self.commit_diff = CommitDiff(self.num_samples)
             self._ancestor_chunk_sets.clear()
@@ -520,10 +632,20 @@ class ChunkEngine:
                 self._chunk_cache_bytes -= len(chunk.data)
             self._header_cache.pop(key, None)
 
-    def _load_chunk(self, chunk_name: str) -> Chunk:
+    def _mem_chunk(self, name: str) -> Optional[Chunk]:
+        """The in-memory authoritative copy of chunk *name*, if any: the
+        active write-back chunk or a finalized chunk still buffered for
+        upload.  Every read path checks here before touching storage, so
+        buffered writes are immediately readable."""
         active = self._active_chunk
-        if active is not None and active.name == chunk_name:
+        if active is not None and active.name == name:
             return active
+        return self._pending_chunks.get(name)
+
+    def _load_chunk(self, chunk_name: str) -> Chunk:
+        mem = self._mem_chunk(chunk_name)
+        if mem is not None:
+            return mem
         key = self._chunk_storage_key(chunk_name)
         cached = self._cache_get(key)
         if cached is not None:
@@ -792,11 +914,61 @@ class ChunkEngine:
         return self.seq_enc.num_samples if self.meta.is_sequence else self.enc.num_samples
 
     def _finalize_active(self) -> None:
-        """Write the in-memory active chunk to storage (if any)."""
+        """Close the in-memory active chunk (if any): buffered for a
+        batched upload when the write pipeline is on, written through
+        immediately when off."""
         chunk = self._active_chunk
         if chunk is not None and chunk.num_samples:
-            self._write_chunk(chunk)
+            self._emit_chunk(chunk)
         self._active_chunk = None
+
+    def _emit_chunk(self, chunk: Chunk) -> None:
+        """Route one finalized chunk to the write buffer or to storage."""
+        if _WRITE_PIPELINE["enabled"]:
+            self._pending_chunks[chunk.name] = chunk
+        else:
+            self._write_chunk(chunk)
+
+    def _flush_pending(self) -> None:
+        """Upload every buffered chunk in one batched ``set_many``.
+
+        Serialization (+ chunk compression) fans out over a thread pool;
+        the upload itself is a single batch, which on object storage costs
+        one request's fixed overhead instead of one per chunk.  Runs
+        before any encoder/meta write (see :meth:`flush`) and after a
+        commit crosses the watermark — never mid-commit, so a rolled-back
+        batch can still retract its buffered chunks.
+        """
+        if not self._pending_chunks:
+            return
+        pending = list(self._pending_chunks.values())
+        self._pending_chunks.clear()
+        cc = self.meta.chunk_compression
+        workers = int(_WRITE_PIPELINE["workers"])
+        with _tracing.span("engine.flush_chunks", tensor=self.tensor,
+                           chunks=len(pending)) as sp:
+            if workers > 1 and len(pending) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(pending)),
+                    thread_name_prefix="chunk-serialize",
+                ) as pool:
+                    blobs = list(pool.map(lambda c: c.tobytes(cc), pending))
+            else:
+                blobs = [chunk.tobytes(cc) for chunk in pending]
+            items: Dict[str, bytes] = {}
+            for chunk, blob in zip(pending, blobs):
+                items[K.chunk_key(self.commit_id, self.tensor, chunk.name)] = blob
+            self.storage.set_many(items)
+            sp.set(nbytes=sum(len(b) for b in blobs))
+        self._m_chunks_flushed.inc(len(pending))
+        self._h_flush_batch.observe(len(pending))
+        for chunk, key in zip(pending, items):
+            self._header_cache.pop(key, None)
+            self._cache_put(key, chunk)
+
+    def _maybe_flush_pending(self) -> None:
+        if len(self._pending_chunks) >= _WRITE_PIPELINE["watermark_chunks"]:
+            self._flush_pending()
 
     def _get_active_chunk(self, nbytes: int) -> Chunk:
         """Chunk that will receive the next sample (resumed or fresh).
@@ -828,6 +1000,10 @@ class ChunkEngine:
             ):
                 if not self._chunk_owned_by_current(name):
                     self._own_chunk(chunk)
+                # a buffered (pending-upload) chunk goes back to being the
+                # active chunk — drop the buffer entry so the resumed copy
+                # is uploaded once, after it refills or at flush
+                self._pending_chunks.pop(name, None)
                 self._active_chunk = chunk
                 return chunk
         chunk = Chunk(dtype=self.meta.dtype)
@@ -849,11 +1025,18 @@ class ChunkEngine:
     def _write_chunk(self, chunk: Chunk) -> None:
         key = K.chunk_key(self.commit_id, self.tensor, chunk.name)
         self.storage[key] = chunk.tobytes(self.meta.chunk_compression)
+        # a direct write supersedes any buffered copy of the same chunk
+        self._pending_chunks.pop(chunk.name, None)
         self._header_cache.pop(key, None)
         self._cache_put(key, chunk)
 
-    def _append_flat(self, value) -> None:
-        raw, shape, arr = self._serialize_sample(value)
+    def _commit_flat(
+        self, value, raw, shape, arr,
+        touched: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> None:
+        """Register one pre-serialized flat sample (the infallible half of
+        an append; *touched* collects first-touch chunk states for
+        rollback)."""
         is_video = self.meta.htype == "video"
         if (
             len(raw) > self.meta.max_chunk_size
@@ -863,6 +1046,10 @@ class ChunkEngine:
             self._append_tiled(value, raw, shape, arr)
         else:
             chunk = self._get_active_chunk(len(raw))
+            if touched is not None:
+                touched.setdefault(
+                    chunk.name, (len(chunk.data), chunk.num_samples)
+                )
             chunk.append(raw, shape)
             self._stats_observe(chunk.name, arr)
             self.enc.register_samples(1)
@@ -873,6 +1060,12 @@ class ChunkEngine:
         self.meta.length += 1
         self.commit_diff.add(1)
         self._dirty = True
+
+    def _append_flat(self, value) -> None:
+        # single-sample internal path (pad_to): serialization — the only
+        # fallible phase — completes before any engine state is mutated
+        raw, shape, arr = self._serialize_sample(value)
+        self._commit_flat(value, raw, shape, arr)
 
     def _append_tiled(self, value, raw, shape, arr) -> None:
         # a tiled sample owns dedicated chunks; close the active one first
@@ -898,37 +1091,247 @@ class ChunkEngine:
             self.chunk_set.add(chunk.name)
             self._stats_init(chunk.name)
             self._stats_observe(chunk.name, tile)
-            self._write_chunk(chunk)
+            self._emit_chunk(chunk)
             chunk_ids.append(ChunkIdEncoder.id_from_name(chunk.name))
         index = self.enc.num_samples
         self.enc.register_tiled_sample(chunk_ids)
         self.tile_enc.register(index, arr.shape, tile_shape)
 
-    def _append_sequence(self, value) -> None:
-        items = list(value)
-        for item in items:
-            raw, shape, arr = self._serialize_sample(item)
+    def _commit_sequence(
+        self, payloads,
+        touched: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> None:
+        """Register one pre-serialized sequence row.  Every item was
+        serialized during staging, so — unlike the historical path, which
+        interleaved fallible ``_serialize_sample`` calls with encoder
+        mutations — a bad item can no longer leave earlier items
+        registered in ``enc`` while ``seq_enc``/``meta.length`` never
+        advance."""
+        for raw, shape, arr in payloads:
             chunk = self._get_active_chunk(len(raw))
+            if touched is not None:
+                touched.setdefault(
+                    chunk.name, (len(chunk.data), chunk.num_samples)
+                )
             chunk.append(raw, shape)
             self._stats_observe(chunk.name, arr)
             self.enc.register_samples(1)
             if len(chunk.data) >= self.meta.max_chunk_size:
                 self._finalize_active()
             self.meta.update_shape_interval(shape)
-        self.seq_enc.register(len(items))
+        self.seq_enc.register(len(payloads))
         self.meta.length += 1
         self.commit_diff.add(1)
         self._dirty = True
 
-    def append(self, value) -> None:
-        if self.meta.is_sequence:
-            self._append_sequence(value)
+    # -- WritePlan: stage (fallible, parallel) then commit (atomic) ------ #
+
+    def _stage_payloads(self, items: List) -> List[Tuple]:
+        """Serialize *items* in order, fanning out over the worker pool.
+
+        The first sample(s) are serialized synchronously until the
+        tensor's dtype is pinned — ``_serialize_sample`` infers
+        ``meta.dtype`` from the first observed sample, and that inference
+        must not race across pool workers.  Link tensors never pin a
+        dtype, so they skip the warm-up."""
+        payloads: List[Tuple] = []
+        idx = 0
+        while (
+            idx < len(items)
+            and self.meta.dtype is None
+            and not self.meta.is_link
+        ):
+            payloads.append(self._serialize_sample(items[idx]))
+            idx += 1
+        rest = items[idx:]
+        workers = int(_WRITE_PIPELINE["workers"])
+        if _WRITE_PIPELINE["enabled"] and workers > 1 and len(rest) >= 4:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(rest)),
+                thread_name_prefix="sample-serialize",
+            ) as pool:
+                payloads.extend(pool.map(self._serialize_sample, rest))
         else:
-            self._append_flat(value)
+            payloads.extend(self._serialize_sample(it) for it in rest)
+        return payloads
+
+    def stage_appends(self, values) -> WritePlan:
+        """Serialize + compress *values* into a :class:`WritePlan` without
+        mutating engine state (exception-safe: a staging failure leaves
+        nothing to undo).  Sequence rows stage every item."""
+        values = list(values)
+        plan = WritePlan(self.tensor)
+        if not values:
+            return plan
+        dtype_was_none = self.meta.dtype is None
+        with _tracing.span("engine.stage_appends", tensor=self.tensor,
+                           rows=len(values)):
+            try:
+                if self.meta.is_sequence:
+                    rows = [list(v) for v in values]
+                    flat = [item for row in rows for item in row]
+                    payloads = self._stage_payloads(flat)
+                    pos = 0
+                    for value, row in zip(values, rows):
+                        plan.entries.append(
+                            ("seq", value, payloads[pos:pos + len(row)])
+                        )
+                        pos += len(row)
+                else:
+                    payloads = self._stage_payloads(values)
+                    for value, payload in zip(values, payloads):
+                        plan.entries.append(("flat", value, [payload]))
+            except BaseException:
+                # the one piece of state staging can touch is the dtype
+                # inferred from the first sample — revert it so a failed
+                # batch leaves no trace
+                if dtype_was_none:
+                    self.meta.dtype = None
+                raise
+        return plan
+
+    def _write_snapshot(self) -> dict:
+        """O(bookkeeping) pre-commit state capture for rollback — every
+        mutable structure the commit path touches is either append-only
+        (restored by truncation) or small enough to copy."""
+        active = self._active_chunk
+        si = self.meta.shape_interval
+        return {
+            "enc_rows": len(self.enc._ids),
+            "enc_last_cum": self.enc._cum[-1] if self.enc._cum else None,
+            "seq_rows": len(self.seq_enc._cum),
+            "tile_threshold": self.enc.num_samples,
+            "chunk_set": set(self.chunk_set),
+            "stats_keys": set(self.chunk_stats),
+            "meta_length": self.meta.length,
+            "meta_dtype": self.meta.dtype,
+            "shape_interval": (si.lower, si.upper, si._initialized),
+            "diff_added": self.commit_diff.num_added,
+            "active": (
+                (active.name, len(active.data), active.num_samples)
+                if active is not None
+                else None
+            ),
+            "pending": list(self._pending_chunks),
+            "dirty": self._dirty,
+        }
+
+    def _locate_chunk(self, name: str) -> Optional[Chunk]:
+        mem = self._mem_chunk(name)
+        if mem is not None:
+            return mem
+        return self._cache_peek(self._chunk_storage_key(name))
+
+    def _restore_snapshot(
+        self, snap: dict, touched: Dict[str, Tuple[int, int]]
+    ) -> None:
+        """Roll the engine back to *snap* after a failed commit batch.
+
+        *touched* maps each chunk the batch appended into to its
+        ``(data length, sample count)`` at first touch; those chunk
+        objects are truncated back.  A chunk the serial (pipeline-off)
+        path already wrote through is rewritten truncated, so a later
+        resume of that chunk from storage can never see rolled-back
+        samples.
+        """
+        for name, (dlen, nsamp) in touched.items():
+            chunk = self._mem_chunk(name)
+            written = False
+            if chunk is None:
+                # not buffered => the serial path wrote it through
+                key = self._chunk_storage_key(name)
+                chunk = self._cache_peek(key)
+                written = chunk is not None
+                if chunk is None:
+                    try:
+                        blob = self.storage[key]
+                    except KeyError:
+                        continue
+                    chunk = Chunk.frombytes(blob, name=name)
+                    written = True
+            if len(chunk.data) > dlen:
+                del chunk.data[dlen:]
+                del chunk.byte_positions[nsamp:]
+                del chunk.shapes[nsamp:]
+                if written:
+                    self._write_chunk(chunk)
+        # encoders are append-only: truncate
+        del self.enc._ids[snap["enc_rows"]:]
+        del self.enc._cum[snap["enc_rows"]:]
+        if self.enc._cum and snap["enc_last_cum"] is not None:
+            self.enc._cum[-1] = snap["enc_last_cum"]
+        self.enc._cum_arr = None
+        del self.seq_enc._cum[snap["seq_rows"]:]
+        for idx in [
+            i for i in self.tile_enc._layouts if i >= snap["tile_threshold"]
+        ]:
+            del self.tile_enc._layouts[idx]
+        # bookkeeping: fresh chunks leave chunk_set/stats; widened stats on
+        # surviving chunks stay (a [min,max] superset can never mis-prune)
+        self.chunk_set = snap["chunk_set"]
+        for name in set(self.chunk_stats) - snap["stats_keys"]:
+            del self.chunk_stats[name]
+        self.meta.length = snap["meta_length"]
+        if snap["meta_dtype"] is None:
+            self.meta.dtype = None
+        si = self.meta.shape_interval
+        si.lower, si.upper, si._initialized = snap["shape_interval"]
+        self.commit_diff.num_added = snap["diff_added"]
+        # write buffer: drop chunks the failed batch created, reinstate any
+        # pre-batch buffered chunk the batch resumed into its active slot
+        for name in [
+            n for n in self._pending_chunks if n not in snap["pending"]
+        ]:
+            del self._pending_chunks[name]
+        for name in snap["pending"]:
+            if name not in self._pending_chunks:
+                chunk = self._locate_chunk(name)
+                if chunk is not None:
+                    self._pending_chunks[name] = chunk
+        if snap["active"] is None:
+            self._active_chunk = None
+        else:
+            name = snap["active"][0]
+            self._active_chunk = self._locate_chunk(name)
+            self._pending_chunks.pop(name, None)
+        self._dirty = snap["dirty"]
+
+    def commit_appends(self, plan: WritePlan) -> None:
+        """Apply a staged :class:`WritePlan` atomically.
+
+        Either every row of the plan is registered (encoders, meta,
+        commit diff, chunk data all agree) or — on any failure — the
+        engine state is rolled back to exactly the pre-commit state and
+        the exception propagates.  After a successful commit, crossing the
+        write-buffer watermark triggers a batched chunk upload.
+        """
+        if not plan.entries:
+            return
+        with self._lock:
+            snap = self._write_snapshot()
+            touched: Dict[str, Tuple[int, int]] = {}
+            with _tracing.span("engine.commit_appends", tensor=self.tensor,
+                               rows=plan.num_rows):
+                try:
+                    for kind, value, payloads in plan.entries:
+                        if kind == "seq":
+                            self._commit_sequence(payloads, touched)
+                        else:
+                            raw, shape, arr = payloads[0]
+                            self._commit_flat(value, raw, shape, arr, touched)
+                except BaseException:
+                    self._restore_snapshot(snap, touched)
+                    raise
+            self._maybe_flush_pending()
+
+    def append(self, value) -> None:
+        self.commit_appends(self.stage_appends([value]))
 
     def extend(self, values) -> None:
-        for value in values:
-            self.append(value)
+        """Batched, exception-safe append: stage every sample (parallel
+        serialization + compression), then commit all-or-nothing; chunks
+        finalized along the way upload in batched ``set_many`` calls."""
+        self.commit_appends(self.stage_appends(values))
 
     # ------------------------------------------------------------------ #
     # reads
@@ -959,9 +1362,9 @@ class ChunkEngine:
         """
         chunk_id, local = self.enc.translate(index)
         name = ChunkIdEncoder.name_from_id(chunk_id)
-        active = self._active_chunk
-        if active is not None and active.name == name:
-            return active.read_bytes(local), active.read_shape(local)
+        mem = self._mem_chunk(name)
+        if mem is not None:
+            return mem.read_bytes(local), mem.read_shape(local)
         key = self._chunk_storage_key(name)
         cached = self._cache_get(key)
         if cached is not None:
@@ -1123,9 +1526,9 @@ class ChunkEngine:
             return tuple(self._read_flat(index).shape)
         chunk_id, local = self.enc.translate(index)
         name = ChunkIdEncoder.name_from_id(chunk_id)
-        active = self._active_chunk
-        if active is not None and active.name == name:
-            shape = active.read_shape(local)
+        mem = self._mem_chunk(name)
+        if mem is not None:
+            shape = mem.read_shape(local)
         else:
             key = self._chunk_storage_key(name)
             cached = self._cache_get(key)
@@ -1176,15 +1579,13 @@ class ChunkEngine:
         plan.chunk_items.setdefault(name, []).append((pos, local))
         if name in plan.chunk_keys or name in plan.active_chunks:
             return
-        active = self._active_chunk
-        if active is not None and active.name == name:
+        if self._mem_chunk(name) is not None:
             plan.active_chunks.add(name)
             return
         plan.chunk_keys[name] = self._chunk_storage_key(name)
 
     def _plan_flat_items(self, plan: ReadPlan, indices: Sequence[int],
                          bounds=None) -> None:
-        active = self._active_chunk
         verdicts: Dict[str, bool] = {}  # chunk name -> prunable
         for idx in indices:
             pos = len(plan.items)
@@ -1206,7 +1607,7 @@ class ChunkEngine:
                 prunable = verdicts.get(name)
                 if prunable is None:
                     prunable = (
-                        (active is None or active.name != name)
+                        self._mem_chunk(name) is None
                         and self._is_prunable(name, bounds)
                     )
                     verdicts[name] = prunable
@@ -1257,11 +1658,11 @@ class ChunkEngine:
         """Every chunk the plan touches, fetching all misses in one
         :meth:`StorageProvider.get_many` call."""
         chunks: Dict[str, Chunk] = {}
-        active = self._active_chunk
         for name in plan.active_chunks:
-            if active is not None and active.name == name:
-                chunks[name] = active
-            else:  # active chunk was finalized since planning: re-resolve
+            mem = self._mem_chunk(name)
+            if mem is not None:
+                chunks[name] = mem
+            else:  # in-memory chunk was uploaded since planning: re-resolve
                 chunks[name] = self._load_chunk(name)
         to_fetch: Dict[str, str] = {}  # storage key -> chunk name
         for name, key in plan.chunk_keys.items():
@@ -1386,7 +1787,6 @@ class ChunkEngine:
         indices = self._normalize_rows(rows)
         out: List[Tuple[int, ...]] = []
         shape_src: Dict[str, object] = {}  # chunk name -> Chunk | ChunkHeader
-        active = self._active_chunk
         for idx in indices:
             if self.pad_enc.is_padded(idx):
                 out.append(tuple(self.empty_sample().shape))
@@ -1398,9 +1798,8 @@ class ChunkEngine:
             name = ChunkIdEncoder.name_from_id(chunk_id)
             src = shape_src.get(name)
             if src is None:
-                if active is not None and active.name == name:
-                    src = active
-                else:
+                src = self._mem_chunk(name)
+                if src is None:
                     src = self._cache_peek(self._chunk_storage_key(name))
                     if src is None:
                         _key, src = self._load_header(name)
@@ -1512,8 +1911,11 @@ class ChunkEngine:
                 else:
                     payloads.append(self._read_flat_bytes(i))
 
-        # the unwritten active chunk (if any) has been fully read above
+        # unwritten in-memory chunks (active + upload buffer) have been
+        # fully read above; the rewrite below re-emits every surviving
+        # sample into fresh chunks
         self._active_chunk = None
+        self._pending_chunks.clear()
         old_owned = set(self.chunk_set)
         new_enc = ChunkIdEncoder()
         new_tiles = TileEncoder()
@@ -1606,11 +2008,18 @@ class ChunkEngine:
             if name in seen:
                 continue
             seen.add(name)
-            try:
-                key, header = self._load_header(name)
-            except KeyError:
-                continue
-            approx = int(header.byte_positions[-1][1]) if len(header.byte_positions) else 0
+            mem = self._mem_chunk(name)
+            if mem is not None:
+                approx = len(mem.data)
+            else:
+                try:
+                    key, header = self._load_header(name)
+                except KeyError:
+                    continue
+                approx = (
+                    int(header.byte_positions[-1][1])
+                    if len(header.byte_positions) else 0
+                )
             if approx < self.meta.min_chunk_size:
                 small += 1
         return small / len(seen) if seen else 0.0

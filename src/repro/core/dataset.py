@@ -318,6 +318,69 @@ class Dataset:
                 self._downsample(arr, factor)
             )
 
+    def _sync_companions(
+        self,
+        name: str,
+        engine,
+        start: int,
+        count: int,
+        sample_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Mirror rows ``[start, start+count)`` of *name* into its hidden
+        companion tensors (shape / id / downsampled), batched."""
+        links = engine.meta.links
+        if not links or not count:
+            return
+        rows = list(range(start, start + count))
+        if "shape" in links:
+            if engine.meta.is_link:
+                shapes = [np.array([], dtype=np.int64)] * count
+            else:
+                shapes = [
+                    np.asarray(s, dtype=np.int64)
+                    for s in engine.read_shapes_batch(rows)
+                ]
+            self._engine(links["shape"]).extend(shapes)
+        if "id" in links:
+            if sample_ids is None:
+                sample_ids = [new_sample_id() for _ in rows]
+            self._engine(links["id"]).extend(
+                [np.uint64(sid) for sid in sample_ids]
+            )
+        if "downsampled" in links:
+            factor = int(engine.meta.info.get("downsampling_factor", 2))
+            arrs = engine.read_batch(rows, aslist=True)
+            self._engine(links["downsampled"]).extend(
+                [self._downsample(arr, factor) for arr in arrs]
+            )
+
+    def _commit_extend(
+        self, name: str, engine, plan, sample_ids=None
+    ) -> None:
+        """Commit a staged WritePlan on *engine* and sync companions."""
+        start = engine.num_samples
+        engine.commit_appends(plan)
+        self._sync_companions(
+            name, engine, start, plan.num_rows, sample_ids
+        )
+
+    def _extend_with_id(
+        self, name: str, values, sample_ids: Optional[Sequence[int]] = None
+    ) -> None:
+        """Columnar extend of tensor *name* plus its hidden companions.
+
+        Every sample is staged (serialized, in parallel) before any engine
+        state is committed: a bad sample anywhere in *values* aborts the
+        whole batch with the tensor and its companions untouched.
+        """
+        self._check_writable()
+        values = list(values)
+        if not values:
+            return
+        engine = self._engine(name)
+        plan = engine.stage_appends(values)
+        self._commit_extend(name, engine, plan, sample_ids)
+
     def _update_with_sync(self, name: str, index: int, value) -> None:
         self._check_writable()
         engine = self._engine(name)
@@ -448,6 +511,64 @@ class Dataset:
             engine = self._engine(name)
             self._append_with_id(name, engine.empty_sample())
             engine.pad_enc.pad(engine.num_samples - 1)
+
+    def extend(
+        self,
+        samples: Dict[str, Sequence],
+        append_empty: bool = False,
+    ) -> None:
+        """Columnar batch append: ``{tensor: [v0, v1, ...]}``, all columns
+        the same length.
+
+        Every column is *staged* (serialized on worker threads) before any
+        tensor is touched, so a bad sample anywhere in the batch raises
+        with the dataset unchanged.  Commits then run per tensor; finalized
+        chunks are buffered and uploaded in batched ``set_many`` calls by
+        the engines' write pipeline.
+        """
+        self._check_writable()
+        prefix = f"{self.group_index}/" if self.group_index else ""
+        visible = {
+            n for n in self._meta.visible_tensors if n.startswith(prefix)
+        }
+        qualified = {key: self._qualify(key) for key in samples}
+        unknown = [k for k, q in qualified.items() if q not in visible]
+        if unknown:
+            raise TensorDoesNotExistError(", ".join(sorted(unknown)))
+        missing = visible - set(qualified.values())
+        if missing and not append_empty:
+            raise FormatError(
+                f"extend is missing tensors {sorted(missing)}; pass "
+                "append_empty=True to pad them"
+            )
+        columns = {key: list(values) for key, values in samples.items()}
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise FormatError(
+                "extend requires equal-length columns, got lengths "
+                f"{ {k: len(v) for k, v in sorted(columns.items())} }"
+            )
+        count = lengths.pop() if lengths else 0
+        if not count:
+            return
+        # Stage everything first: serialization is the fallible phase, and
+        # doing it up front keeps a mid-batch bad sample from leaving some
+        # tensors longer than others.
+        staged = []
+        for key in sorted(columns):
+            name = qualified[key]
+            engine = self._engine(name)
+            staged.append((name, engine, engine.stage_appends(columns[key])))
+        for name, engine, plan in staged:
+            self._commit_extend(name, engine, plan)
+        for name in sorted(missing):
+            engine = self._engine(name)
+            base = engine.num_samples
+            self._extend_with_id(
+                name, [engine.empty_sample() for _ in range(count)]
+            )
+            for row in range(base, base + count):
+                engine.pad_enc.pad(row)
 
     def read_rows(
         self,

@@ -87,9 +87,10 @@ class Tensor:
         self.dataset._append_with_id(self.name, value)
 
     def extend(self, values) -> None:
+        """Append many samples as one staged batch: all values serialize
+        before any is committed, so a bad sample aborts atomically."""
         self._check_full_view("extend")
-        for value in values:
-            self.dataset._append_with_id(self.name, value)
+        self.dataset._extend_with_id(self.name, list(values))
 
     def __setitem__(self, item, value) -> None:
         if not isinstance(item, (int, np.integer)):

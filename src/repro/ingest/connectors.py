@@ -196,18 +196,33 @@ class DeepLakeDestination:
             names.append(name)
         return names
 
+    def _write_batch(self, batch: List[Dict], schema: Dict[str, str]) -> None:
+        """One staged columnar extend per tensor for the buffered records."""
+        for field, ftype in schema.items():
+            name = self._tensor_name(field)
+            column = [_to_sample(r.get(field), ftype) for r in batch]
+            self.ds._extend_with_id(name, column)
+
     def write(self, records: Iterator[Dict], schema: Dict[str, str],
-              limit: Optional[int] = None) -> int:
+              limit: Optional[int] = None, batch_size: int = 256) -> int:
+        """Batched columnar write: records buffer *batch_size* at a time
+        and land as one staged extend per tensor, so finalized chunks are
+        uploaded in batched ``set_many`` calls instead of one PUT per row.
+        """
         self.prepare(schema)
         count = 0
+        batch: List[Dict] = []
         for record in records:
-            if limit is not None and count >= limit:
+            if limit is not None and count + len(batch) >= limit:
                 break
-            for field, ftype in schema.items():
-                value = record.get(field)
-                name = self._tensor_name(field)
-                self.ds._append_with_id(name, _to_sample(value, ftype))
-            count += 1
+            batch.append(record)
+            if len(batch) >= batch_size:
+                self._write_batch(batch, schema)
+                count += len(batch)
+                batch = []
+        if batch:
+            self._write_batch(batch, schema)
+            count += len(batch)
         self.ds.flush()
         return count
 
@@ -239,6 +254,42 @@ def ingest_source(source: Source, ds, limit: Optional[int] = None) -> int:
     return dest.write(source.read_records(), schema, limit=limit)
 
 
+def ingest_stream(source: Source, ds, batch_size: int = 256,
+                  limit: Optional[int] = None) -> Iterator[int]:
+    """Streaming ingestion: yields the running row count after each batch
+    is committed *and flushed*.
+
+    Because the flush order is crash-consistent (chunk blobs, then
+    encoders, then meta), a reader — e.g. the tensor streaming server
+    serving this same dataset — that reloads between yields only ever
+    observes fully-backed committed versions: the row count advances in
+    batch increments and never references a chunk that is not yet in
+    storage.
+    """
+    schema = source.discover()
+    if not schema:
+        raise IngestionError(f"{source.name} source has no records")
+    dest = DeepLakeDestination(ds)
+    dest.prepare(schema)
+    count = 0
+    batch: List[Dict] = []
+    for record in source.read_records():
+        if limit is not None and count + len(batch) >= limit:
+            break
+        batch.append(record)
+        if len(batch) >= batch_size:
+            dest._write_batch(batch, schema)
+            count += len(batch)
+            batch = []
+            ds.flush()
+            yield count
+    if batch:
+        dest._write_batch(batch, schema)
+        count += len(batch)
+        ds.flush()
+        yield count
+
+
 def ingest_csv(path: str, ds, **kw) -> int:
     return ingest_source(CSVSource(path), ds, **kw)
 
@@ -268,15 +319,18 @@ def ingest_imagefolder(root: str, ds, compression: str = "jpeg") -> int:
     if "labels" not in ds._meta.tensors:
         ds.create_tensor("labels", htype="class_label",
                          chunk_compression="lz4")
-    count = 0
+    images: List = []
+    labels: List = []
     for key in local.list_prefix(""):
         parts = key.split("/")
         if len(parts) < 2 or not parts[0].startswith("class_"):
             continue
         label = int(parts[0].split("_")[1])
         payload = local[key]
-        ds._append_with_id("images", Sample(buffer=payload, path=key))
-        ds._append_with_id("labels", np.int32(label))
-        count += 1
+        images.append(Sample(buffer=payload, path=key))
+        labels.append(np.int32(label))
+    if images:
+        ds._extend_with_id("images", images)
+        ds._extend_with_id("labels", labels)
     ds.flush()
-    return count
+    return len(images)

@@ -29,8 +29,8 @@ from repro import exceptions as exc
 MESSAGE_OVERHEAD_BYTES = 64
 
 #: Request operations understood by :meth:`DatasetServer.handle`.
-OPS = ("ping", "get", "get_many", "read_batch", "put", "delete", "keys",
-       "flush", "stats")
+OPS = ("ping", "get", "get_many", "read_batch", "put", "put_many", "delete",
+       "keys", "flush", "stats")
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,9 @@ class Request:
     start: Optional[int] = None         # ranged get
     end: Optional[int] = None
     payload: bytes = b""                # put
+    #: put_many — install order is preserved server-side, so a batch of
+    #: class-ordered keys keeps its crash-consistency guarantee remotely
+    blobs: Dict[str, bytes] = field(default_factory=dict)
     tensor: str = ""                    # read_batch
     rows: Tuple[int, ...] = ()          # read_batch
     #: W3C-trace-context-style propagation: when set, the server records
@@ -62,6 +65,7 @@ class Request:
             + len(self.key)
             + sum(len(k) for k in self.keys)
             + len(self.payload)
+            + sum(len(k) + len(v) for k, v in self.blobs.items())
             + len(self.tensor)
             + 8 * len(self.rows)
             + len(self.trace_id)

@@ -435,6 +435,14 @@ class DatasetServer:
             backend[req.key] = req.payload
             self._invalidate(req.dataset, req.key)
             return Response()
+        if req.op == "put_many":
+            backend = self._backend(req.dataset)
+            # one backend batch write, in the client's key order (the
+            # crash-consistent flush ordering survives the round trip)
+            backend.set_many(dict(req.blobs))
+            for key in req.blobs:
+                self._invalidate(req.dataset, key)
+            return Response()
         if req.op == "delete":
             backend = self._backend(req.dataset)
             del backend[req.key]

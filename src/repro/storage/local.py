@@ -54,6 +54,42 @@ class LocalProvider(StorageProvider):
             f.write(value)
         os.replace(tmp, path)  # atomic publish
 
+    def set_many(self, items) -> None:
+        """Two-phase batch write: stage every blob to a tmp file first, then
+        publish with atomic renames in *items* order.
+
+        A crash during staging publishes nothing; a crash during publish
+        leaves a prefix of the batch visible — combined with the caller's
+        class-ordered batches (chunks before encoders before meta) that is
+        exactly the crash-consistency contract.
+        """
+        self.check_writable()
+        if not items:
+            return
+        payload = {key: bytes(value) for key, value in items.items()}
+        staged = []
+        try:
+            for key, value in payload.items():
+                path = self._path(key)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+                with open(tmp, "wb") as f:
+                    f.write(value)
+                staged.append((tmp, path))
+        except BaseException:
+            for tmp, _path in staged:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            raise
+        for tmp, path in staged:
+            os.replace(tmp, path)
+        for value in payload.values():
+            self.stats.record_put(len(value))
+            self._m_puts.inc()
+            self._m_bytes_written.inc(len(value))
+
     def _delete(self, key: str) -> None:
         try:
             os.remove(self._path(key))

@@ -43,6 +43,7 @@ from repro.exceptions import KeyNotFound
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.storage.provider import StorageProvider, clamp_range
+from repro.util import keys as _keys
 
 
 class LRUCache(StorageProvider):
@@ -168,6 +169,32 @@ class LRUCache(StorageProvider):
                 self._gen += 1
                 self._insert(key, value, dirty=True)
 
+    def set_many(self, items: Dict[str, bytes]) -> None:
+        """Batched write: one downstream ``set_many`` when write-through,
+        dirty absorption when write-back (the batch is pushed downstream
+        as a batch again at :meth:`flush`)."""
+        self.check_writable()
+        if not items:
+            return
+        payload = {key: bytes(value) for key, value in items.items()}
+        total = sum(len(v) for v in payload.values())
+        with _tracing.span("cache.set_many", cache=self.name,
+                           keys=len(payload), nbytes=total):
+            if self.write_through:
+                with self._write_lock:
+                    self.next_storage.set_many(payload)
+                    with self._lock:
+                        self._gen += 1
+                        for key, value in payload.items():
+                            self._insert(key, value, dirty=False)
+            else:
+                with self._lock:
+                    self._gen += 1
+                    for key, value in payload.items():
+                        self._insert(key, value, dirty=True)
+        for value in payload.values():
+            self.stats.record_put(len(value))
+
     def _delete(self, key: str) -> None:
         # bookkeeping under _lock, downstream delete outside it (readers
         # don't stall); _write_lock keeps it ordered against write-through
@@ -253,7 +280,16 @@ class LRUCache(StorageProvider):
             return True
 
     def flush(self) -> None:
-        """Write back all dirty keys, then flush downstream.
+        """Write back all dirty keys in crash-consistent order, then flush
+        downstream.
+
+        Write-back proceeds by key class — chunk payloads first, then
+        encoders, then meta/bookkeeping (``keys.key_class``) — each class
+        as one downstream ``set_many`` batch.  A crash between classes
+        leaves at worst unreferenced chunks; lexicographic order (the old
+        behaviour) could persist ``tensor_meta.json`` before the
+        ``.../chunks/...`` blobs it declares, because ``t`` sorts after
+        ``c``-prefixed chunk keys only by accident of tensor naming.
 
         The dirty set is snapshotted under the lock but the downstream
         writes happen outside it, so concurrent reader hits don't stall
@@ -266,8 +302,14 @@ class LRUCache(StorageProvider):
                 for key in sorted(self._dirty)
             ]
             self._dirty.clear()
-        for key, value in pending:
-            self.next_storage[key] = value
+        for klass in (_keys.KEY_CLASS_CHUNK, _keys.KEY_CLASS_ENCODER,
+                      _keys.KEY_CLASS_META):
+            batch = {
+                key: value for key, value in pending
+                if _keys.key_class(key) == klass
+            }
+            if batch:
+                self.next_storage.set_many(batch)
         self.next_storage.flush()
 
     def clear_cache(self) -> None:

@@ -56,6 +56,10 @@ class SimulatedObjectStore(StorageProvider):
         self.max_retries = int(max_retries)
         self.backoff_s = float(backoff_s)
         self.retries_performed = 0
+        #: successful charged requests per category ("download", "upload",
+        #: "upload_batch", ...) — the benchmarks assert round-trip counts
+        #: from this, independent of per-key accounting.
+        self.requests_by_op: Dict[str, int] = {}
         self._m_retries = _metrics.counter("objectstore.retries", store=name)
         self._h_ops: dict = {}
 
@@ -85,6 +89,9 @@ class SimulatedObjectStore(StorageProvider):
                 self.clock.charge(dt, category)
                 total += dt
                 self._observe(category, total)
+                self.requests_by_op[category] = (
+                    self.requests_by_op.get(category, 0) + 1
+                )
                 return total
             except TransientNetworkError:
                 attempt += 1
@@ -137,8 +144,38 @@ class SimulatedObjectStore(StorageProvider):
         return out
 
     def _set(self, key: str, value: bytes) -> None:
-        self._charge(len(value), "upload")
-        self.backing._set(key, value)
+        with _tracing.span("objectstore.put", store=self.name, key=key,
+                           nbytes=len(value)) as sp:
+            dt = self._charge(len(value), "upload")
+            self.backing._set(key, value)
+            sp.set(virtual_s=round(dt, 6))
+
+    def set_many(self, items: Dict[str, bytes]) -> None:
+        """Batched PUT: one request's fixed overhead for the whole batch.
+
+        Symmetric with :meth:`get_many` — the model charges the per-request
+        overhead and first-byte latency once plus all payload bytes at
+        sustained bandwidth.  The charge happens **before** any key is
+        installed, so a batch that exhausts its retries (``NetworkError``)
+        stores nothing: the caller sees all-or-nothing semantics, which the
+        crash-consistent flush ordering relies on.  Per-key request
+        accounting is kept so "PUTs per chunk" stays comparable across
+        providers.
+        """
+        self.check_writable()
+        if not items:
+            return
+        payload = {key: bytes(value) for key, value in items.items()}
+        total = sum(len(v) for v in payload.values())
+        with _tracing.span("objectstore.set_many", store=self.name,
+                           keys=len(payload), nbytes=total) as sp:
+            dt = self._charge(total, "upload_batch")
+            for key, value in payload.items():
+                self.backing._set(key, value)
+                self.stats.record_put(len(value))
+                self._m_puts.inc()
+                self._m_bytes_written.inc(len(value))
+            sp.set(virtual_s=round(dt, 6))
 
     def latency_percentiles(self, op: str = "download") -> dict:
         """p50/p95/p99 virtual seconds over retained samples for *op*."""

@@ -153,6 +153,9 @@ class StorageProvider(ABC, MutableMapping):
         self._h_put = _metrics.histogram(
             "storage.op_seconds", provider=kind, op="put"
         )
+        self._h_set_many = _metrics.histogram(
+            "storage.op_seconds", provider=kind, op="set_many"
+        )
 
     def _record_read(self, nbytes: int, seconds: float, op: str = "get") -> None:
         """Registry + stats accounting for one read that took *seconds*."""
@@ -161,6 +164,14 @@ class StorageProvider(ABC, MutableMapping):
         self._m_gets.inc()
         self._m_bytes_read.inc(nbytes)
         (self._h_get_many if op == "get_many" else self._h_get).observe(seconds)
+
+    def _record_write(self, nbytes: int, seconds: float, op: str = "put") -> None:
+        """Registry + stats accounting for one write that took *seconds*."""
+        self.stats.record_put(nbytes)
+        self.stats.record_latency(op, seconds)
+        self._m_puts.inc()
+        self._m_bytes_written.inc(nbytes)
+        (self._h_set_many if op == "set_many" else self._h_put).observe(seconds)
 
     # -- write protection ------------------------------------------------
 
@@ -240,16 +251,40 @@ class StorageProvider(ABC, MutableMapping):
             sp.set(found=len(out))
         return out
 
+    def set_many(self, items: Dict[str, bytes]) -> None:
+        """Store several whole blobs at once.
+
+        The write mirror of :meth:`get_many`: the base implementation loops
+        over ``_set``, recording one PUT per key so request accounting
+        matches N individual stores, and backends with a cheaper bulk path
+        override it — the LRU cache absorbs the batch as dirty entries (or
+        forwards it downstream in one call when write-through), the remote
+        provider ships all blobs in a single round trip, and the simulated
+        object store charges one request's overhead for the whole upload
+        batch.  Iteration order of *items* is preserved, which the flush
+        path relies on for crash-consistent key ordering.
+        """
+        self.check_writable()
+        if not items:
+            return
+        total = 0
+        with _tracing.span("storage.set_many", provider=type(self).__name__,
+                           keys=len(items)) as sp:
+            for key, value in items.items():
+                value = bytes(value)
+                t0 = time.perf_counter()
+                self._set(key, value)
+                self._record_write(len(value), time.perf_counter() - t0,
+                                   op="set_many")
+                total += len(value)
+            sp.set(nbytes=total)
+
     def __setitem__(self, key: str, value: bytes) -> None:
         self.check_writable()
         value = bytes(value)
         t0 = time.perf_counter()
         self._set(key, value)
-        elapsed = time.perf_counter() - t0
-        self.stats.record_put(len(value), seconds=elapsed)
-        self._m_puts.inc()
-        self._m_bytes_written.inc(len(value))
-        self._h_put.observe(elapsed)
+        self._record_write(len(value), time.perf_counter() - t0)
 
     def __delitem__(self, key: str) -> None:
         self.check_writable()

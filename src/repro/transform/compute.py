@@ -23,6 +23,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.exceptions import TransformError
 from repro.transform.scheduler import plan_batches
 
+#: rows buffered per columnar ``ds_out.extend`` flush on the append path —
+#: large enough to fill whole chunks per staged batch, small enough to
+#: keep writes overlapped with compute instead of trailing it
+_WRITE_BATCH_ROWS = 256
+
 
 class SampleOut:
     """Collector the UDF writes into; supports one-to-many via repeated
@@ -202,15 +207,16 @@ class Pipeline:
                     raise TransformError(i, exc) from exc
             return out
 
-        if num_workers and num_workers > 1 and len(batches) > 1:
-            with ThreadPoolExecutor(max_workers=num_workers) as pool:
-                results = list(pool.map(run_batch, batches))
-        else:
-            results = [run_batch(b) for b in batches]
+        parallel = bool(num_workers and num_workers > 1 and len(batches) > 1)
 
         # deterministic, input-ordered writes
         written = 0
         if in_place:
+            if parallel:
+                with ThreadPoolExecutor(max_workers=num_workers) as pool:
+                    results = list(pool.map(run_batch, batches))
+            else:
+                results = [run_batch(b) for b in batches]
             flat_indices = [i for batch in batches for i in batch]
             flat_rows = [rows for result in results for rows in result]
             for i, rows in zip(flat_indices, flat_rows):
@@ -225,11 +231,43 @@ class Pipeline:
                     ds_out._update_with_sync(ds_out._qualify(tensor), i, value)
                 written += 1
         else:
-            for result in results:
+            # Append path: stream finished batches (pool.map yields them in
+            # input order as they complete) into columnar buffers and flush
+            # each buffer as one staged ``ds_out.extend`` — the engines'
+            # write pipeline then serializes chunks on worker threads and
+            # uploads them in batched set_many calls, overlapping writes
+            # with the compute still running.
+            buf: Dict[str, List] = {t: [] for t in out_tensors}
+            buffered = 0
+
+            def flush_buf() -> None:
+                nonlocal buffered, written
+                if not buffered:
+                    return
+                ds_out.extend({t: buf[t] for t in out_tensors})
+                written += buffered
+                for t in out_tensors:
+                    buf[t].clear()
+                buffered = 0
+
+            def consume(result: List[List[Dict]]) -> None:
+                nonlocal buffered
                 for rows in result:
                     for row in rows:
-                        ds_out.append(row)
-                        written += 1
+                        for t in out_tensors:
+                            buf[t].append(row[t])
+                        buffered += 1
+                        if buffered >= _WRITE_BATCH_ROWS:
+                            flush_buf()
+
+            if parallel:
+                with ThreadPoolExecutor(max_workers=num_workers) as pool:
+                    for result in pool.map(run_batch, batches):
+                        consume(result)
+            else:
+                for b in batches:
+                    consume(run_batch(b))
+            flush_buf()
         ds_out.flush()
         return written
 

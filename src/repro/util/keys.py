@@ -40,6 +40,33 @@ LOCKS_FOLDER = "locks"
 QUERIES_FOLDER = "queries"
 
 
+#: Write-back ordering classes (crash consistency): chunk payloads must be
+#: durable before the encoders that index them, and encoders before the
+#: meta/bookkeeping files that declare samples visible.  A crash between
+#: classes leaves unreferenced chunks (harmless garbage), never meta that
+#: points at missing chunks.
+KEY_CLASS_CHUNK = 0
+KEY_CLASS_ENCODER = 1
+KEY_CLASS_META = 2
+
+_ENCODER_FILENAMES = (
+    CHUNK_ID_ENCODER_FILENAME,
+    TILE_ENCODER_FILENAME,
+    SEQUENCE_ENCODER_FILENAME,
+    PAD_ENCODER_FILENAME,
+)
+
+
+def key_class(key: str) -> int:
+    """Flush-ordering class of *key*: chunks < encoders < meta/bookkeeping."""
+    if f"/{CHUNKS_FOLDER}/" in key:
+        return KEY_CLASS_CHUNK
+    leaf = key.rsplit("/", 1)[-1]
+    if leaf in _ENCODER_FILENAMES:
+        return KEY_CLASS_ENCODER
+    return KEY_CLASS_META
+
+
 def commit_root(commit_id: str) -> str:
     """Prefix under which a commit's files live ('' for the first commit)."""
     if commit_id == FIRST_COMMIT_ID:
