@@ -42,6 +42,7 @@ observable from loader stats and per-tenant serve stats.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -116,6 +117,82 @@ def write_pipeline(enabled=None, workers=None, watermark_chunks=None):
     finally:
         _WRITE_PIPELINE.clear()
         _WRITE_PIPELINE.update(prev)
+
+
+#: Read-pipeline knobs (process-global, the read mirror of
+#: ``_WRITE_PIPELINE``): ``enabled`` dispatches per-chunk decode and
+#: per-sample slicing work of a :class:`ReadPlan` to the shared decode
+#: pool (numpy/lz4/jpeg decode releases the GIL) and lets consumers fuse
+#: the per-tensor plans of one request into a single
+#: :meth:`~repro.storage.provider.StorageProvider.get_many`
+#: (:class:`FusedReadPlan`); disabled restores the serial
+#: one-plan-per-tensor execution exactly (the benchmark ablation).
+#: ``workers`` bounds the process-global decode pool.
+_READ_PIPELINE = {
+    "enabled": True,
+    "workers": max(2, min(8, os.cpu_count() or 4)),
+}
+
+_DECODE_POOL: Optional[ThreadPoolExecutor] = None
+_DECODE_POOL_WORKERS = 0
+_DECODE_POOL_LOCK = threading.Lock()
+_DECODE_THREAD_PREFIX = "decode-pool"
+
+
+@contextmanager
+def read_pipeline(enabled=None, workers=None):
+    """Temporarily reconfigure the read pipeline (tests / ablations).
+
+    ``with read_pipeline(enabled=False): ...`` restores the serial read
+    path: plans execute on the calling thread and every tensor issues its
+    own ``get_many``; ``workers=N`` resizes the shared decode pool.
+    """
+    prev = dict(_READ_PIPELINE)
+    if enabled is not None:
+        _READ_PIPELINE["enabled"] = bool(enabled)
+    if workers is not None:
+        _READ_PIPELINE["workers"] = max(1, int(workers))
+    try:
+        yield
+    finally:
+        _READ_PIPELINE.clear()
+        _READ_PIPELINE.update(prev)
+
+
+def read_pipeline_enabled() -> bool:
+    """Whether parallel plan execution / cross-tensor fusion is on."""
+    return bool(_READ_PIPELINE["enabled"])
+
+
+def _decode_pool() -> ThreadPoolExecutor:
+    """The process-global decode pool, resized lazily when the configured
+    worker count changes (old pools drain in the background)."""
+    global _DECODE_POOL, _DECODE_POOL_WORKERS
+    workers = max(1, int(_READ_PIPELINE["workers"]))
+    with _DECODE_POOL_LOCK:
+        if _DECODE_POOL is None or _DECODE_POOL_WORKERS != workers:
+            if _DECODE_POOL is not None:
+                _DECODE_POOL.shutdown(wait=False)
+            _DECODE_POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=_DECODE_THREAD_PREFIX
+            )
+            _DECODE_POOL_WORKERS = workers
+        return _DECODE_POOL
+
+
+def _read_parallelism() -> int:
+    """Usable decode-pool fan-out for the current calling context.
+
+    Work already running *on* a decode-pool thread (e.g. a server-push
+    prefetch executing a fused plan) must not block on nested pool
+    submissions — with every worker waiting on sub-tasks the pool would
+    deadlock — so nested calls run serially on the worker itself.
+    """
+    if not _READ_PIPELINE["enabled"]:
+        return 1
+    if threading.current_thread().name.startswith(_DECODE_THREAD_PREFIX):
+        return 1
+    return max(1, int(_READ_PIPELINE["workers"]))
 
 
 class _PrunedCell:
@@ -347,6 +424,15 @@ class ChunkEngine:
         )
         self._h_flush_batch = reg.histogram(
             "chunk_engine.flush_batch_chunks", tensor=tensor
+        )
+        # read-pipeline accounting: wall time a plan spent fanned out on
+        # the shared decode pool, and how many chunks were decoded/sliced
+        # there instead of on the calling thread
+        self._h_decode_pool = reg.histogram(
+            "engine.decode_pool_seconds", tensor=tensor
+        )
+        self._m_parallel_chunks = reg.counter(
+            "engine.parallel_chunks", tensor=tensor
         )
 
         # write-back chunk being filled by appends (not yet in storage)
@@ -943,28 +1029,60 @@ class ChunkEngine:
             return
         pending = list(self._pending_chunks.values())
         self._pending_chunks.clear()
-        cc = self.meta.chunk_compression
-        workers = int(_WRITE_PIPELINE["workers"])
         with _tracing.span("engine.flush_chunks", tensor=self.tensor,
                            chunks=len(pending)) as sp:
-            if workers > 1 and len(pending) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=min(workers, len(pending)),
-                    thread_name_prefix="chunk-serialize",
-                ) as pool:
-                    blobs = list(pool.map(lambda c: c.tobytes(cc), pending))
-            else:
-                blobs = [chunk.tobytes(cc) for chunk in pending]
-            items: Dict[str, bytes] = {}
-            for chunk, blob in zip(pending, blobs):
-                items[K.chunk_key(self.commit_id, self.tensor, chunk.name)] = blob
+            items = self._serialize_pending(pending)
             self.storage.set_many(items)
-            sp.set(nbytes=sum(len(b) for b in blobs))
+            sp.set(nbytes=sum(len(b) for b in items.values()))
+
+    def _serialize_pending(self, pending: List[Chunk]) -> Dict[str, bytes]:
+        """Serialize finalized chunks into upload-ready ``{key: blob}``
+        items (compression fanned out over a thread pool), charging the
+        flush counters and priming the decoded-chunk cache — everything
+        :meth:`_flush_pending` does short of the ``set_many`` itself, so
+        a coordinating caller (``Dataset.flush``) can merge many engines'
+        items into one batch per key class."""
+        cc = self.meta.chunk_compression
+        workers = int(_WRITE_PIPELINE["workers"])
+        if workers > 1 and len(pending) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                thread_name_prefix="chunk-serialize",
+            ) as pool:
+                blobs = list(pool.map(lambda c: c.tobytes(cc), pending))
+        else:
+            blobs = [chunk.tobytes(cc) for chunk in pending]
+        items: Dict[str, bytes] = {}
+        for chunk, blob in zip(pending, blobs):
+            items[K.chunk_key(self.commit_id, self.tensor, chunk.name)] = blob
         self._m_chunks_flushed.inc(len(pending))
         self._h_flush_batch.observe(len(pending))
         for chunk, key in zip(pending, items):
             self._header_cache.pop(key, None)
             self._cache_put(key, chunk)
+        return items
+
+    def drain_flush_items(
+        self,
+    ) -> Tuple[Dict[str, bytes], Dict[str, bytes], Dict[str, bytes]]:
+        """Collect everything this engine would persist on :meth:`flush`
+        without writing any of it: ``(chunk items, encoder items, meta
+        items)``, each upload-ready.  The engine's buffers and dirty flag
+        are drained exactly as a flush would, so the caller *must* write
+        the returned items (in key-class order) — ``Dataset.flush`` uses
+        this to coordinate one ``set_many`` per class across all engines
+        instead of one per engine."""
+        with self._lock:
+            self._finalize_active()
+            chunk_items: Dict[str, bytes] = {}
+            if self._pending_chunks:
+                pending = list(self._pending_chunks.values())
+                self._pending_chunks.clear()
+                chunk_items = self._serialize_pending(pending)
+            if not self._dirty:
+                return chunk_items, {}, {}
+            self._dirty = False
+            return chunk_items, self._encoder_items(), self._meta_items()
 
     def _maybe_flush_pending(self) -> None:
         if len(self._pending_chunks) >= _WRITE_PIPELINE["watermark_chunks"]:
@@ -1464,9 +1582,13 @@ class ChunkEngine:
         items = [self._read_flat(i) for i in range(start, end)]
         if aslist:
             return items
+        if not items:
+            # empty span: zero rows of the tensor's dtype, never a bare
+            # list / float64 default (must match execute_plan exactly)
+            return self._empty_seq_stack()
         shapes = {item.shape for item in items}
         if len(shapes) == 1:
-            return np.stack(items) if items else np.empty((0,))
+            return np.stack(items)
         return items
 
     def read_sample(self, index: int, aslist: bool = False,
@@ -1654,9 +1776,11 @@ class ChunkEngine:
             sp.set(chunks=plan.num_chunks)
         return plan
 
-    def _fetch_plan_chunks(self, plan: ReadPlan) -> Dict[str, Chunk]:
-        """Every chunk the plan touches, fetching all misses in one
-        :meth:`StorageProvider.get_many` call."""
+    def _plan_resident_chunks(
+        self, plan: ReadPlan
+    ) -> Tuple[Dict[str, Chunk], Dict[str, str]]:
+        """Split a plan's chunks into already-resident ones and the
+        ``{storage key: chunk name}`` set that must be fetched."""
         chunks: Dict[str, Chunk] = {}
         for name in plan.active_chunks:
             mem = self._mem_chunk(name)
@@ -1671,17 +1795,48 @@ class ChunkEngine:
                 chunks[name] = cached
             else:
                 to_fetch[key] = name
+        return chunks, to_fetch
+
+    def _absorb_fetched(
+        self,
+        to_fetch: Dict[str, str],
+        blobs: Dict[str, bytes],
+        chunks: Dict[str, Chunk],
+    ) -> None:
+        """Decode fetched blobs into *chunks* (and the decoded-chunk
+        cache), fanning the per-chunk decompression out over the shared
+        decode pool when the read pipeline allows it."""
+        entries = []
+        for key, name in to_fetch.items():
+            blob = blobs.get(key)
+            if blob is None:
+                raise KeyNotFound(key)
+            entries.append((key, name, blob))
+        workers = _read_parallelism()
+        if workers > 1 and len(entries) > 1:
+            t0 = time.perf_counter()
+            decoded = list(
+                _decode_pool().map(
+                    lambda e: self._decode_chunk(e[2], e[1]), entries
+                )
+            )
+            self._h_decode_pool.observe(time.perf_counter() - t0)
+            self._m_parallel_chunks.inc(len(entries))
+        else:
+            decoded = [self._decode_chunk(b, n) for _k, n, b in entries]
+        for (key, name, _blob), chunk in zip(entries, decoded):
+            self._cache_put(key, chunk)
+            chunks[name] = chunk
+
+    def _fetch_plan_chunks(self, plan: ReadPlan) -> Dict[str, Chunk]:
+        """Every chunk the plan touches, fetching all misses in one
+        :meth:`StorageProvider.get_many` call."""
+        chunks, to_fetch = self._plan_resident_chunks(plan)
         if to_fetch:
             with _tracing.span("engine.fetch_chunks", tensor=self.tensor,
                                chunks=len(to_fetch)):
                 blobs = self.storage.get_many(list(to_fetch))
-            for key, name in to_fetch.items():
-                blob = blobs.get(key)
-                if blob is None:
-                    raise KeyNotFound(key)
-                chunk = self._decode_chunk(blob, name)
-                self._cache_put(key, chunk)
-                chunks[name] = chunk
+            self._absorb_fetched(to_fetch, blobs, chunks)
         return chunks
 
     def _item_value(self, spec: Tuple, chunks: Dict[str, Chunk],
@@ -1715,21 +1870,89 @@ class ChunkEngine:
             return raw
         return self._deserialize_sample(raw, chunk.read_shape(local))
 
+    def _plan_item_values(self, plan: ReadPlan, chunks: Dict[str, Chunk],
+                          decode: bool) -> List:
+        """One value per plan item, in plan order.
+
+        With the read pipeline on, item slicing (per-sample decompression
+        for sample-compressed tensors) fans out over the shared decode
+        pool, partitioned by owning chunk for locality; results land back
+        at their item positions so order and byte-identity are preserved
+        exactly.  Worker exceptions propagate to the caller.
+        """
+        items = plan.items
+        workers = _read_parallelism()
+        if workers <= 1 or len(items) <= 1 or not chunks:
+            return [self._item_value(spec, chunks, decode) for spec in items]
+        # partition positions by primary chunk; free items (pad/pruned)
+        # are answered inline — they touch no chunk data
+        values: List = [None] * len(items)
+        by_chunk: Dict[str, List[int]] = {}
+        for pos, spec in enumerate(items):
+            kind = spec[0]
+            if kind == "sample":
+                by_chunk.setdefault(spec[1], []).append(pos)
+            elif kind == "tiled":
+                by_chunk.setdefault(spec[2][0], []).append(pos)
+            else:
+                values[pos] = self._item_value(spec, chunks, decode)
+        n_parallel = sum(len(p) for p in by_chunk.values())
+        if n_parallel <= 1:
+            for positions in by_chunk.values():
+                for pos in positions:
+                    values[pos] = self._item_value(items[pos], chunks, decode)
+            return values
+        # keep every worker busy even when one chunk holds most items
+        stride = max(1, -(-n_parallel // (workers * 2)))
+        tasks: List[List[int]] = []
+        for positions in by_chunk.values():
+            for i in range(0, len(positions), stride):
+                tasks.append(positions[i : i + stride])
+
+        def run(positions: List[int]) -> List[Tuple[int, object]]:
+            return [
+                (pos, self._item_value(items[pos], chunks, decode))
+                for pos in positions
+            ]
+
+        t0 = time.perf_counter()
+        pool = _decode_pool()
+        futures = [pool.submit(run, task) for task in tasks]
+        try:
+            for fut in futures:
+                for pos, value in fut.result():
+                    values[pos] = value
+        finally:
+            for fut in futures:
+                fut.cancel()
+        self._h_decode_pool.observe(time.perf_counter() - t0)
+        self._m_parallel_chunks.inc(len(by_chunk))
+        return values
+
+    def _empty_seq_stack(self) -> np.ndarray:
+        """What an empty sequence span stacks to: zero rows of the
+        tensor's own dtype (never numpy's float64 default)."""
+        return np.empty((0,), dtype=np.dtype(self.meta.dtype or "float64"))
+
     def execute_plan(self, plan: ReadPlan, aslist: bool = False,
-                     decode: bool = True) -> List:
+                     decode: bool = True,
+                     _chunks: Optional[Dict[str, Chunk]] = None) -> List:
         """Run *plan*: fetch missing chunks once, decompress once, slice
         every requested sample out of the decoded buffers.
 
         Returns one value per planned row, in request order.  With
         ``decode=False`` values are raw stored payloads (``bytes``) —
-        sequence rows become lists of payloads.
+        sequence rows become lists of payloads.  ``_chunks`` lets a
+        :class:`FusedReadPlan` inject chunks it already fetched in a
+        cross-tensor batch.
         """
         with _tracing.span("engine.execute_plan", tensor=self.tensor,
                            rows=len(plan.rows), chunks=plan.num_chunks):
-            chunks = self._fetch_plan_chunks(plan)
-            values = [
-                self._item_value(spec, chunks, decode) for spec in plan.items
-            ]
+            chunks = (
+                _chunks if _chunks is not None
+                else self._fetch_plan_chunks(plan)
+            )
+            values = self._plan_item_values(plan, chunks, decode)
         if plan.seq_spans is None:
             return values
         out = []
@@ -1738,9 +1961,12 @@ class ChunkEngine:
             if not decode or aslist:
                 out.append(items)
                 continue
+            if not items:
+                out.append(self._empty_seq_stack())
+                continue
             shapes = {item.shape for item in items}
             if len(shapes) == 1:
-                out.append(np.stack(items) if items else np.empty((0,)))
+                out.append(np.stack(items))
             else:
                 out.append(items)
         return out
@@ -2023,3 +2249,102 @@ class ChunkEngine:
             if approx < self.meta.min_chunk_size:
                 small += 1
         return small / len(seen) if seen else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# cross-tensor plan fusion
+# --------------------------------------------------------------------------- #
+
+
+class FusedReadPlan:
+    """Per-tensor :class:`ReadPlan`\\ s of one request, executed as ONE
+    storage round trip.
+
+    A dataloader worker group, a TQL scan window, and a served
+    ``read_batch`` all touch several tensors for the *same* rows; without
+    fusion each tensor's plan pays its own
+    :meth:`~repro.storage.provider.StorageProvider.get_many`.  Fusing
+    merges every plan's missing chunks into a single ``get_many`` per
+    distinct storage provider (normally exactly one — all engines of a
+    dataset share the provider), so a group touching images+labels+boxes
+    costs one round trip instead of three.  Decoding fans out over the
+    shared decode pool, and each plan then slices its samples exactly as
+    serial :meth:`ChunkEngine.execute_plan` would — results are
+    byte-identical, only the round-trip count changes.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self):
+        self.parts: List[Tuple[ChunkEngine, ReadPlan]] = []
+
+    def add(self, engine: ChunkEngine, plan: ReadPlan) -> "FusedReadPlan":
+        self.parts.append((engine, plan))
+        return self
+
+    @property
+    def num_chunks(self) -> int:
+        return sum(plan.num_chunks for _e, plan in self.parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FusedReadPlan(tensors={[p.tensor for _e, p in self.parts]}, "
+            f"chunks={self.num_chunks})"
+        )
+
+    def _fetch_all(self) -> List[Dict[str, Chunk]]:
+        """Resident chunks per part, with every miss across all parts
+        fetched in one ``get_many`` per distinct storage provider."""
+        resident: List[Dict[str, Chunk]] = []
+        part_fetches: List[Dict[str, str]] = []  # per part: key -> name
+        by_storage: Dict[int, Tuple[StorageProvider, Set[str]]] = {}
+        for engine, plan in self.parts:
+            chunks, to_fetch = engine._plan_resident_chunks(plan)
+            resident.append(chunks)
+            part_fetches.append(to_fetch)
+            if to_fetch:
+                sid = id(engine.storage)
+                if sid not in by_storage:
+                    by_storage[sid] = (engine.storage, set())
+                by_storage[sid][1].update(to_fetch)
+        if by_storage:
+            blobs: Dict[str, bytes] = {}
+            with _tracing.span(
+                "engine.fused_fetch", tensors=len(self.parts),
+                chunks=sum(len(keys) for _s, keys in by_storage.values()),
+            ):
+                for storage, want in by_storage.values():
+                    blobs.update(storage.get_many(sorted(want)))
+            for (engine, _plan), chunks, to_fetch in zip(
+                self.parts, resident, part_fetches
+            ):
+                if not to_fetch:
+                    continue
+                # an earlier part of the same engine may have decoded a
+                # shared chunk already (duplicate tensor in the request)
+                still: Dict[str, str] = {}
+                for key, name in to_fetch.items():
+                    cached = engine._cache_peek(key)
+                    if cached is not None:
+                        chunks[name] = cached
+                    else:
+                        still[key] = name
+                if still:
+                    engine._absorb_fetched(still, blobs, chunks)
+        return resident
+
+    def execute(self, decode: bool = True, aslist: bool = False) -> List[List]:
+        """Run every part; returns one value-list per part, in
+        :meth:`add` order — each exactly what the part's own
+        ``execute_plan`` would have returned."""
+        fetched = self._fetch_all()
+        return [
+            engine.execute_plan(plan, aslist=aslist, decode=decode,
+                                _chunks=chunks)
+            for (engine, plan), chunks in zip(self.parts, fetched)
+        ]
+
+    def prefetch(self) -> None:
+        """Fetch + decode every missing chunk into the engines' caches
+        without slicing any samples — the server-push speculation path."""
+        self._fetch_all()

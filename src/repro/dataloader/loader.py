@@ -227,16 +227,19 @@ class DeepLakeLoader:
             self.stats.transform_s += time.perf_counter() - t0
         return sample
 
-    def _make_priority_fn(self) -> Callable[[Tuple[int, ...]], float]:
+    def _make_priority_fn(
+        self, groups: Sequence[Tuple[int, ...]]
+    ) -> Callable[[Tuple[int, ...]], float]:
         """CPU-cost estimate per group: bigger decoded samples cost more,
         so the smart scheduler starts them first.
 
         Uniform tensors get a constant estimate (no I/O at all).  Ragged
-        tensors answer lazily — only groups actually submitted within the
-        prefetch window are looked up — through
-        :meth:`~repro.core.chunk_engine.ChunkEngine.read_shapes_batch`,
-        whose per-chunk header cache keeps the whole epoch at one tiny
-        metadata read per *chunk*, never per row.
+        tensors are answered from ONE
+        :meth:`~repro.core.chunk_engine.ChunkEngine.read_shapes_batch`
+        sweep over every group's lead row — its per-chunk header cache
+        keeps the whole epoch at one tiny metadata read per *chunk*, and
+        the batched call shares the chunk-name resolution across rows
+        instead of redoing it per submitted group.
         """
         engine = self._dominant_engine()
         interval = engine.meta.shape_interval
@@ -244,18 +247,16 @@ class DeepLakeLoader:
             const = float(engine.meta.max_sample_nbytes)
             return lambda group: const
         memo: Dict[int, float] = {}
+        lead_rows = [group[0] for group in groups if group]
+        try:
+            shapes = engine.read_shapes_batch(lead_rows)
+            for row, shape in zip(lead_rows, shapes):
+                memo[row] = float(np.prod(shape)) if shape else 0.0
+        except Exception:  # noqa: BLE001 - priority is best-effort
+            memo.clear()
 
         def priority(group: Tuple[int, ...]) -> float:
-            row = group[0]
-            value = memo.get(row)
-            if value is None:
-                try:
-                    shape = engine.read_shapes_batch([row])[0]
-                    value = float(np.prod(shape)) if shape else 0.0
-                except Exception:  # noqa: BLE001 - priority is best-effort
-                    value = 0.0
-                memo[row] = value
-            return value
+            return memo.get(group[0], 0.0)
 
         return priority
 
@@ -310,7 +311,9 @@ class DeepLakeLoader:
         # overhead and keeps workers on one chunk at a time (locality)
         group_size = max(1, min(self.batch_size, inflight, 16))
         groups = group_indices(rows, group_size)
-        priority_of = self._make_priority_fn() if self.num_workers else None
+        priority_of = (
+            self._make_priority_fn(groups) if self.num_workers else None
+        )
         self.stats._track_engines(self._engines())
         stream = prefetched(
             groups,

@@ -39,9 +39,14 @@ class PriorityWorkerPool:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._shutdown = False
+        # named so nested layers (e.g. the chunk engine's decode pool)
+        # and trace/debug output can tell loader workers apart
         self._threads = [
-            threading.Thread(target=self._worker, daemon=True)
-            for _ in range(self.num_workers)
+            threading.Thread(
+                target=self._worker, daemon=True,
+                name=f"loader-prefetch-{i}",
+            )
+            for i in range(self.num_workers)
         ]
         for t in self._threads:
             t.start()
@@ -188,11 +193,11 @@ def compute_inflight_limit(
 
 
 def prefetched(
-    indices: Sequence[int],
-    fetch: Callable[[int], Dict],
+    indices: Sequence,
+    fetch: Callable[..., Dict],
     num_workers: int,
     inflight_limit: int,
-    priority_of: Optional[Callable[[int], float]] = None,
+    priority_of: Optional[Callable[..., float]] = None,
     queue_gauge=None,
 ) -> Iterator[Dict]:
     """Yield ``fetch(i)`` results in input order with bounded lookahead.

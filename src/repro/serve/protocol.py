@@ -49,6 +49,10 @@ class Request:
     #: class-ordered keys keeps its crash-consistency guarantee remotely
     blobs: Dict[str, bytes] = field(default_factory=dict)
     tensor: str = ""                    # read_batch
+    #: read_batch over several columns at once: the server fuses the
+    #: per-tensor plans into one backend ``get_many`` and answers on
+    #: :attr:`Response.columns`.  Empty = legacy single-tensor form.
+    tensors: Tuple[str, ...] = ()
     rows: Tuple[int, ...] = ()          # read_batch
     #: W3C-trace-context-style propagation: when set, the server records
     #: its handling as a detached span tree under this parent and ships
@@ -67,6 +71,7 @@ class Request:
             + len(self.payload)
             + sum(len(k) + len(v) for k, v in self.blobs.items())
             + len(self.tensor)
+            + sum(len(t) for t in self.tensors)
             + 8 * len(self.rows)
             + len(self.trace_id)
             + len(self.parent_span)
@@ -83,6 +88,10 @@ class Response:
     keys: Tuple[str, ...] = ()                    # keys
     #: read_batch: one (dtype, shape, payload) triple per requested row
     samples: Tuple[Tuple[str, Tuple[int, ...], bytes], ...] = ()
+    #: fused read_batch: tensor → tuple of per-row triples
+    columns: Dict[str, Tuple[Tuple[str, Tuple[int, ...], bytes], ...]] = (
+        field(default_factory=dict)
+    )
     info: Optional[dict] = None                   # stats / ping
     error_type: str = ""
     error: str = ""
@@ -100,6 +109,12 @@ class Response:
             len(dtype) + 4 * len(shape) + len(payload)
             for dtype, shape, payload in self.samples
         )
+        for name, triples in self.columns.items():
+            n += len(name)
+            n += sum(
+                len(dtype) + 4 * len(shape) + len(payload)
+                for dtype, shape, payload in triples
+            )
         if self.info is not None:
             n += len(repr(self.info))  # stats/ping payloads cost bytes too
         return n

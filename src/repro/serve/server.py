@@ -260,6 +260,19 @@ class DatasetServer:
         self._running = False
         # (op, tenant) -> serve.request_seconds histogram handle
         self._op_hists: Dict[Tuple[str, str], object] = {}
+        # server-push prefetch: per-(tenant, dataset, tensors) stride
+        # trackers + speculative-fetch accounting (units are chunks)
+        self._prefetch_lock = threading.Lock()
+        self._prefetch_trackers: Dict[Tuple[str, str, Tuple[str, ...]], dict] = {}
+        self._prefetch_futures: List[object] = []
+        reg = _metrics.REGISTRY
+        self._prefetch_exact = {
+            f: _metrics.Counter(reg) for f in ("issued", "hits", "wasted")
+        }
+        self._prefetch_mirror = {
+            f: reg.counter(f"serve.prefetch_{f}", server=name)
+            for f in ("issued", "hits", "wasted")
+        }
 
     # ------------------------------------------------------------------ #
     # hosting / lifecycle
@@ -539,34 +552,194 @@ class DatasetServer:
         The hosted dataset is read through the shared chunk cache, so the
         ReadPlan's chunk fetches land once per chunk server-wide; the
         engine's decoded-chunk hit/miss delta is surfaced per tenant.
+        When the request names several tensors, their plans are fused so
+        every column's misses reach the backend in ONE ``get_many``; each
+        request also feeds the per-tenant stride tracker that drives
+        server-push prefetch of the next sequential window.
         """
         import numpy as np
 
+        from repro.core.chunk_engine import (
+            FusedReadPlan,
+            read_pipeline_enabled,
+        )
+
         ds = self._served_dataset(req.dataset)
-        engine = ds._engine(req.tensor)
+        names = tuple(req.tensors) or (req.tensor,)
+        rows = list(req.rows)
         # always plan + execute (even for one row): serving wants chunks
         # resident in the shared cache for the tenants that come next,
         # and residency is computed per request, not as a delta on shared
         # counters — concurrent tenants must not claim each other's I/O
-        plan = engine.plan_reads(list(req.rows))
-        hits, misses = engine.plan_residency(plan)
-        values = engine.execute_plan(plan)
-        samples = []
-        for value in values:
-            if not isinstance(value, np.ndarray):
-                raise ServeError(
-                    f"tensor {req.tensor!r} holds ragged sequence samples; "
-                    "read_batch serves fixed ndarray samples only"
+        hits = misses = 0
+        plans = []
+        for name in names:
+            engine = ds._engine(name)
+            plan = engine.plan_reads(rows)
+            h, m = engine.plan_residency(plan)
+            hits += h
+            misses += m
+            plans.append((name, engine, plan))
+        if read_pipeline_enabled() and len(plans) > 1:
+            fused = FusedReadPlan()
+            for _name, engine, plan in plans:
+                fused.add(engine, plan)
+            column_values = fused.execute()
+        else:
+            column_values = [
+                engine.execute_plan(plan) for _name, engine, plan in plans
+            ]
+        columns = {}
+        for (name, _engine, _plan), values in zip(plans, column_values):
+            triples = []
+            for value in values:
+                if not isinstance(value, np.ndarray):
+                    raise ServeError(
+                        f"tensor {name!r} holds ragged sequence samples; "
+                        "read_batch serves fixed ndarray samples only"
+                    )
+                arr = np.ascontiguousarray(value)
+                triples.append(
+                    (arr.dtype.str, tuple(int(x) for x in arr.shape),
+                     arr.tobytes())
                 )
-            arr = np.ascontiguousarray(value)
-            samples.append(
-                (arr.dtype.str, tuple(int(x) for x in arr.shape),
-                 arr.tobytes())
-            )
-        tenant.inc("samples_served", len(samples))
+            columns[name] = tuple(triples)
+        tenant.inc("samples_served",
+                   sum(len(t) for t in columns.values()))
         tenant.inc("chunk_cache_hits", hits)
         tenant.inc("chunk_cache_misses", misses)
-        return Response(samples=tuple(samples))
+        self._note_read_window(req.tenant, req.dataset, names, rows,
+                               plans, ds)
+        if req.tensors:
+            return Response(columns=columns)
+        return Response(samples=columns[names[0]])
+
+    # -- server-push prefetch ---------------------------------------------
+
+    @property
+    def prefetch_issued(self) -> int:
+        return self._prefetch_exact["issued"].value
+
+    @property
+    def prefetch_hits(self) -> int:
+        return self._prefetch_exact["hits"].value
+
+    @property
+    def prefetch_wasted(self) -> int:
+        return self._prefetch_exact["wasted"].value
+
+    def _prefetch_inc(self, field: str, n: int = 1) -> None:
+        if n:
+            self._prefetch_exact[field].inc(n)
+            self._prefetch_mirror[field].inc(n)
+
+    def _note_read_window(self, tenant: str, dataset: str,
+                          names: Tuple[str, ...], rows: List[int],
+                          plans: list, ds) -> None:
+        """Feed the stride tracker with one ``read_batch`` window.
+
+        A tenant reading contiguous ascending windows back to back is
+        *sequential*: the second consecutive window triggers speculative
+        execution of the next one on the decode pool.  Chunks the tracker
+        fetched ahead count as *hits* when a later request plans them and
+        as *wasted* when the stride breaks with them still unclaimed.
+        """
+        from repro.core.chunk_engine import (
+            _decode_pool,
+            read_pipeline_enabled,
+        )
+
+        if self.cache is None or not rows or not read_pipeline_enabled():
+            return
+        start, end = rows[0], rows[-1] + 1
+        sequential = rows == list(range(start, end))
+        key = (tenant, dataset, names)
+        current_keys: Set[str] = set()
+        for _name, _engine, plan in plans:
+            current_keys.update(plan.chunk_keys.values())
+        hit = wasted = 0
+        schedule = False
+        with self._prefetch_lock:
+            tr = self._prefetch_trackers.get(key)
+            if tr is None:
+                tr = self._prefetch_trackers[key] = {
+                    "last_end": None,
+                    "outstanding": set(),
+                    "inflight": False,
+                }
+            claimed = current_keys & tr["outstanding"]
+            hit = len(claimed)
+            tr["outstanding"] -= claimed
+            if sequential and tr["last_end"] == start:
+                schedule = not tr["inflight"]
+                if schedule:
+                    tr["inflight"] = True
+            else:
+                # stride broke: whatever is still speculatively resident
+                # was fetched for a future this tenant abandoned
+                wasted = len(tr["outstanding"])
+                tr["outstanding"].clear()
+            tr["last_end"] = end if sequential else None
+            if schedule:
+                fut = _decode_pool().submit(
+                    self._prefetch_window, key, ds, names, end, len(rows)
+                )
+                self._prefetch_futures = [
+                    f for f in self._prefetch_futures if not f.done()
+                ]
+                self._prefetch_futures.append(fut)
+        self._prefetch_inc("hits", hit)
+        self._prefetch_inc("wasted", wasted)
+
+    def _prefetch_window(self, key, ds, names: Tuple[str, ...],
+                         start: int, count: int) -> None:
+        """Speculatively fetch+decode rows ``[start, start+count)`` for
+        every tensor of *key* into the shared cache (runs on the decode
+        pool; nested decode parallelism degrades to inline there).
+        Speculative work must never surface errors to tenants."""
+        from repro.core.chunk_engine import FusedReadPlan
+
+        issued: Set[str] = set()
+        try:
+            with _tracing.span("serve.push_prefetch", server=self.name,
+                               rows=count, tensors=len(names)):
+                fused = FusedReadPlan()
+                for name in names:
+                    engine = ds._engine(name)
+                    n = engine.num_samples
+                    rows = list(range(min(start, n), min(start + count, n)))
+                    if not rows:
+                        continue
+                    plan = engine.plan_reads(rows)
+                    _resident, to_fetch = engine._plan_resident_chunks(plan)
+                    issued.update(to_fetch)
+                    fused.add(engine, plan)
+                if issued:
+                    fused.prefetch()
+        except BaseException:  # noqa: BLE001 - speculative, never propagate
+            issued = set()
+        finally:
+            with self._prefetch_lock:
+                tr = self._prefetch_trackers.get(key)
+                if tr is not None:
+                    tr["inflight"] = False
+                    if issued:
+                        tr["outstanding"] |= issued
+            self._prefetch_inc("issued", len(issued))
+
+    def drain_prefetch(self) -> None:
+        """Wait for every in-flight speculative prefetch to settle (test
+        hook — makes hit/waste accounting deterministic)."""
+        while True:
+            with self._prefetch_lock:
+                futures, self._prefetch_futures = self._prefetch_futures, []
+            if not futures:
+                return
+            for fut in futures:
+                try:
+                    fut.result()
+                except BaseException:  # noqa: BLE001 - already swallowed
+                    pass
 
     def _batched_blobs(self, mkeys: Sequence[str]) -> Dict[str, bytes]:
         """Whole blobs for many mux keys, with single-flight dedup.
@@ -708,6 +881,11 @@ class DatasetServer:
                 "misses": self.cache.misses,
                 "hit_ratio": round(self.cache.hit_ratio, 4),
             }
+        info["prefetch"] = {
+            "issued": self.prefetch_issued,
+            "hits": self.prefetch_hits,
+            "wasted": self.prefetch_wasted,
+        }
         return info
 
     def __repr__(self) -> str:

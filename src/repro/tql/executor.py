@@ -34,7 +34,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.chunk_engine import PRUNED
+from repro.core.chunk_engine import (
+    PRUNED,
+    FusedReadPlan,
+    read_pipeline_enabled,
+)
 from repro.exceptions import FormatError, StorageError
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
@@ -153,6 +157,12 @@ class Executor:
         """
         with _tracing.span("tql.prefetch_columns", tensors=len(tensors),
                            rows=len(rows)):
+            if (
+                read_pipeline_enabled()
+                and len(tensors) > 1
+                and self._prefetch_fused(tensors, rows, bounds)
+            ):
+                return
             for tensor in tensors:
                 engine = self.ds._engine(tensor)
                 tensor_bounds = bounds.get(tensor) if bounds else None
@@ -163,13 +173,40 @@ class Executor:
                     self.prefetch_fallbacks += 1
                     self._m_prefetch_fallbacks.inc()
                     continue
-                if plan.skipped_chunks:
-                    self.chunks_skipped += len(plan.skipped_chunks)
-                    self._m_chunks_skipped.inc(len(plan.skipped_chunks))
-                fetched = sum(1 for v in values if v is not PRUNED)
-                self.cells_fetched += fetched
-                self._m_cells_fetched.inc(fetched)
-                self._scan_cache[tensor] = dict(zip(rows, values))
+                self._absorb_scan(tensor, plan, rows, values)
+
+    def _prefetch_fused(self, tensors: List[str], rows: List[int],
+                        bounds: Optional[dict]) -> bool:
+        """Fused scan window: one plan per column merged into ONE storage
+        ``get_many`` across all of them (chunk-stats pushdown still
+        applies per column).  Returns False on storage/decode failure so
+        the caller degrades to the per-column loop, whose per-tensor
+        fallback semantics then decide row-level behaviour."""
+        fused = FusedReadPlan()
+        plans = []
+        try:
+            for tensor in tensors:
+                engine = self.ds._engine(tensor)
+                tensor_bounds = bounds.get(tensor) if bounds else None
+                plan = engine.plan_reads(rows, bounds=tensor_bounds)
+                fused.add(engine, plan)
+                plans.append((tensor, plan))
+            columns = fused.execute()
+        except (StorageError, FormatError):
+            return False
+        for (tensor, plan), values in zip(plans, columns):
+            self._absorb_scan(tensor, plan, rows, values)
+        return True
+
+    def _absorb_scan(self, tensor: str, plan, rows: List[int],
+                     values: List) -> None:
+        if plan.skipped_chunks:
+            self.chunks_skipped += len(plan.skipped_chunks)
+            self._m_chunks_skipped.inc(len(plan.skipped_chunks))
+        fetched = sum(1 for v in values if v is not PRUNED)
+        self.cells_fetched += fetched
+        self._m_cells_fetched.inc(fetched)
+        self._scan_cache[tensor] = dict(zip(rows, values))
 
     def _clear_prefetched(self) -> None:
         self._scan_cache.clear()

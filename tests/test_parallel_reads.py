@@ -1,0 +1,461 @@
+"""Parallel plan execution, cross-tensor fusion, and server-push prefetch:
+byte-identity of the decode pool against serial execution across every
+compression/layout, fused-plan round-trip accounting, exception
+propagation from decode workers, coordinated multi-tensor flush, and the
+serving tier's sequential-stride prefetcher."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.chunk_engine import (
+    ChunkEngine,
+    FusedReadPlan,
+    _read_parallelism,
+    read_pipeline,
+    read_pipeline_enabled,
+)
+from repro.core.meta import TensorMeta
+from repro.core.version_state import VersionState
+from repro.serve.server import DatasetServer
+from repro.serve.transport import InprocTransport, SimNetworkTransport
+from repro.sim.clock import SimClock
+from repro.storage import MemoryProvider
+from repro.storage.object_store import make_object_store
+from repro.util import keys as _keys
+from repro.workloads import smooth_image
+
+
+def make_engine(storage=None, **meta_kwargs):
+    if storage is None:
+        storage = MemoryProvider()
+    meta_kwargs.setdefault("htype", "generic")
+    meta = TensorMeta(**meta_kwargs)
+    return ChunkEngine("t", storage, VersionState(), meta=meta), storage
+
+
+def fresh_reader(storage) -> ChunkEngine:
+    """Cold-cache engine over already-written storage."""
+    return ChunkEngine("t", storage, VersionState())
+
+
+def assert_identical(parallel, serial):
+    assert len(parallel) == len(serial)
+    for a, b in zip(parallel, serial):
+        if isinstance(b, list):
+            assert isinstance(a, list) and len(a) == len(b)
+            for x, y in zip(a, b):
+                assert x.dtype == y.dtype
+                assert np.array_equal(x, y)
+        elif isinstance(b, np.ndarray):
+            assert isinstance(a, np.ndarray)
+            assert a.dtype == b.dtype and a.shape == b.shape
+            assert np.array_equal(a, b)
+        else:
+            assert a == b  # PRUNED sentinel / raw bytes
+
+
+class TestParallelByteIdentity:
+    """The decode pool must be invisible except for speed."""
+
+    def check(self, storage, rows, **kwargs):
+        with read_pipeline(enabled=False):
+            serial = fresh_reader(storage).read_batch(rows, **kwargs)
+        with read_pipeline(enabled=True, workers=4):
+            parallel = fresh_reader(storage).read_batch(rows, **kwargs)
+        assert_identical(parallel, serial)
+
+    def test_uncompressed_many_chunks_randomized(self, rng):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(80):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        rows = rng.permutation(80).tolist() + [3, 3, -1]
+        self.check(storage, rows)
+
+    def test_jpeg_sample_compression(self, rng):
+        engine, storage = make_engine(
+            htype="image", dtype="uint8", sample_compression="jpeg",
+            max_chunk_size=16384,
+        )
+        for i in range(12):
+            engine.append(smooth_image(rng, 40 + (i % 3) * 8, 40, 3))
+        engine.flush()
+        rows = rng.permutation(12).tolist()
+        self.check(storage, rows)
+
+    def test_lz4_chunk_compression(self, rng):
+        engine, storage = make_engine(
+            dtype="float32", chunk_compression="lz4", max_chunk_size=2048,
+        )
+        for i in range(48):
+            engine.append(rng.random(64).astype(np.float32))
+        engine.flush()
+        rows = rng.permutation(48).tolist()
+        self.check(storage, rows)
+
+    def test_tiled_samples(self, rng):
+        engine, storage = make_engine(dtype="uint8", max_chunk_size=4096)
+        engine.append(rng.integers(0, 255, (128, 96, 3), dtype=np.uint8))
+        engine.append(rng.integers(0, 255, (64, 64, 3), dtype=np.uint8))
+        engine.flush()
+        self.check(storage, [1, 0, 1])
+
+    def test_sequence_rows(self):
+        engine, storage = make_engine(
+            htype="sequence[generic]", dtype="int64", max_chunk_size=512,
+        )
+        for i in range(10):
+            engine.append([np.arange(i, i + 3, dtype=np.int64)] * (1 + i % 3))
+        engine.flush()
+        self.check(storage, [9, 0, 4, 4, 7])
+        self.check(storage, [2, 8, 1], aslist=True)
+
+    def test_padded_rows(self):
+        engine, storage = make_engine(dtype="float64")
+        engine.append(np.ones(3))
+        engine.pad_to(6)
+        engine.flush()
+        self.check(storage, [0, 3, 5, 0])
+
+    def test_raw_mode(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(30):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        self.check(storage, [3, 12, 29, 0], decode=False)
+
+
+class TestReadPipelineAblation:
+    def test_disabled_restores_serial_execution(self):
+        assert read_pipeline_enabled()
+        with read_pipeline(enabled=False):
+            assert not read_pipeline_enabled()
+            assert _read_parallelism() == 1
+        assert read_pipeline_enabled()
+
+    def test_disabled_means_no_parallel_chunk_accounting(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(40):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        reader = fresh_reader(storage)
+        base = reader._m_parallel_chunks.value  # registry series: delta
+        with read_pipeline(enabled=False):
+            reader.read_batch(list(range(40)))
+        assert reader._m_parallel_chunks.value == base
+        reader2 = fresh_reader(storage)
+        with read_pipeline(enabled=True, workers=4):
+            reader2.read_batch(list(range(40)))
+        assert reader2._m_parallel_chunks.value > base
+
+    def test_decode_pool_threads_degrade_to_inline(self):
+        """Nested submission from a decode worker must not deadlock the
+        bounded pool: on decode-pool threads parallelism degrades to 1."""
+        seen = {}
+
+        def probe():
+            seen["p"] = _read_parallelism()
+
+        t = threading.Thread(target=probe, name="decode-pool_probe")
+        t.start()
+        t.join()
+        assert seen["p"] == 1
+
+
+class TestEmptySequenceDtype:
+    """Empty sequence spans must come back in the tensor's dtype, not
+    float64 (the np.empty((0,)) default)."""
+
+    def test_execute_plan_and_read_sequence_agree(self):
+        engine, storage = make_engine(htype="sequence[generic]", dtype="int32")
+        engine.append([np.arange(2, dtype=np.int32)] * 2)
+        engine.append([])
+        engine.flush()
+        reader = fresh_reader(storage)
+        single = reader.read_sample(1)
+        assert single.dtype == np.dtype("int32") and single.shape == (0,)
+        batch = reader.read_batch([0, 1])
+        assert batch[1].dtype == np.dtype("int32") and batch[1].shape == (0,)
+        with read_pipeline(enabled=False):
+            serial = fresh_reader(storage).read_batch([0, 1])
+        assert serial[1].dtype == np.dtype("int32")
+
+
+class TestFusedPlanAccounting:
+    def _dataset(self, store, n=40):
+        ds = repro.Dataset(store)
+        ds.create_tensor("a", dtype="uint8", max_chunk_size=4096)
+        ds.create_tensor("b", dtype="int64", max_chunk_size=4096)
+        ds.create_tensor("c", dtype="float32", max_chunk_size=4096)
+        ds.a.extend([np.full((16, 16), i % 250, dtype=np.uint8)
+                     for i in range(n)])
+        ds.b.extend([np.int64(i) for i in range(n)])
+        ds.c.extend([np.full(32, i, dtype=np.float32) for i in range(n)])
+        ds.flush()
+        return ds
+
+    def test_three_tensors_one_round_trip(self):
+        store = make_object_store("s3", bucket="fused-acct")
+        self._dataset(store)
+        cold = repro.Dataset(store, read_only=True)
+        for name in ("a", "b", "c"):  # open engines: meta/encoder reads
+            cold._engine(cold._qualify(name))
+        before = dict(store.requests_by_op)
+        cold.read_rows(list(range(24)), ["a", "b", "c"])
+        after = store.requests_by_op
+        batches = after.get("download_batch", 0) - before.get(
+            "download_batch", 0
+        )
+        singles = after.get("download", 0) - before.get("download", 0)
+        assert batches == 1  # ONE get_many spanning all three tensors
+        assert singles == 0
+
+    def test_per_tensor_round_trips_when_disabled(self):
+        store = make_object_store("s3", bucket="fused-acct-off")
+        self._dataset(store)
+        cold = repro.Dataset(store, read_only=True)
+        for name in ("a", "b", "c"):
+            cold._engine(cold._qualify(name))
+        before = dict(store.requests_by_op)
+        with read_pipeline(enabled=False):
+            cold.read_rows(list(range(24)), ["a", "b", "c"])
+        after = store.requests_by_op
+        batches = after.get("download_batch", 0) - before.get(
+            "download_batch", 0
+        )
+        assert batches == 3  # the PR 2 one-get_many-per-tensor path
+
+    def test_fused_values_match_per_tensor_reads(self, rng):
+        store = MemoryProvider("fused-eq")
+        ds = self._dataset(store)
+        rows = rng.permutation(40).tolist()
+        fused = ds.read_rows(rows, ["a", "b", "c"])
+        with read_pipeline(enabled=False):
+            serial = ds.read_rows(rows, ["a", "b", "c"])
+        for name in ("a", "b", "c"):
+            assert_identical(fused[name], serial[name])
+
+    def test_duplicate_tensor_names_share_chunks(self):
+        store = MemoryProvider("fused-dup")
+        ds = self._dataset(store, n=12)
+        engine = ds._engine(ds._qualify("a"))
+        fused = FusedReadPlan()
+        fused.add(engine, engine.plan_reads([0, 5, 11]))
+        fused.add(engine, engine.plan_reads([11, 5, 0]))
+        first, second = fused.execute()
+        assert np.array_equal(first[0], second[2])
+        assert np.array_equal(first[2], second[0])
+
+
+class TestDecodeWorkerExceptions:
+    def test_corrupt_chunk_raises_same_error_as_serial(self):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(40):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        victim = sorted(k for k in storage._all_keys() if "/chunks/" in k)[1]
+        storage[victim] = b"\x00garbage"
+        with read_pipeline(enabled=False):
+            with pytest.raises(Exception) as serial_exc:
+                fresh_reader(storage).read_batch(list(range(40)))
+        with read_pipeline(enabled=True, workers=4):
+            with pytest.raises(Exception) as parallel_exc:
+                fresh_reader(storage).read_batch(list(range(40)))
+        assert type(parallel_exc.value) is type(serial_exc.value)
+
+    def test_slicing_error_propagates_from_worker(self, monkeypatch):
+        engine, storage = make_engine(dtype="int64", max_chunk_size=256)
+        for i in range(40):
+            engine.append(np.arange(i, i + 4, dtype=np.int64))
+        engine.flush()
+        reader = fresh_reader(storage)
+        boom = RuntimeError("worker blew up")
+
+        original = ChunkEngine._item_value
+
+        def exploding(self, spec, chunks, decode):
+            if spec[0] == "sample" and spec[2] == 1:
+                raise boom
+            return original(self, spec, chunks, decode)
+
+        monkeypatch.setattr(ChunkEngine, "_item_value", exploding)
+        with read_pipeline(enabled=True, workers=4):
+            with pytest.raises(RuntimeError, match="worker blew up"):
+                reader.read_batch(list(range(40)))
+
+
+class TestCoordinatedFlush:
+    def _record_set_many(self, storage, calls):
+        original = storage.set_many
+
+        def recording(items):
+            calls.append(sorted(items))
+            return original(items)
+
+        storage.set_many = recording
+
+    def test_one_set_many_per_key_class(self):
+        storage = MemoryProvider("coflush")
+        ds = repro.Dataset(storage)
+        ds.create_tensor("x", dtype="int64")
+        ds.create_tensor("y", dtype="float32")
+        ds.x.extend([np.int64(i) for i in range(8)])
+        ds.y.extend([np.float32(i) for i in range(8)])
+        calls = []
+        self._record_set_many(storage, calls)
+        ds.flush()
+        assert calls, "coordinated flush must batch through set_many"
+        classes = [
+            {_keys.key_class(k) for k in batch} for batch in calls
+        ]
+        # every batch is homogeneous in key class...
+        assert all(len(c) == 1 for c in classes)
+        order = [c.pop() for c in classes]
+        # ...in crash-consistent order: chunks -> encoders -> meta
+        assert order == sorted(order)
+        assert order[0] == _keys.KEY_CLASS_CHUNK
+        # and each class was written ONCE across all engines (x, y and
+        # their hidden companions), not once per engine
+        assert len(order) == len(set(order)) == 3
+        # every engine's chunks landed in the single chunk batch
+        chunk_batch = calls[0]
+        assert any(k.startswith("x/") for k in chunk_batch)
+        assert any(k.startswith("y/") for k in chunk_batch)
+
+    def test_flushed_dataset_reloads_identically(self):
+        storage = MemoryProvider("coflush-reload")
+        ds = repro.Dataset(storage)
+        ds.create_tensor("x", dtype="int64")
+        ds.create_tensor("y", dtype="float32")
+        ds.x.extend([np.int64(i) for i in range(10)])
+        ds.y.extend([np.float32(2 * i) for i in range(10)])
+        ds.flush()
+        again = repro.Dataset(storage, read_only=True)
+        assert np.array_equal(
+            np.asarray([v for v in again.x.numpy(aslist=True)]).ravel(),
+            np.arange(10),
+        )
+        assert again.y[7].numpy() == np.float32(14)
+
+
+class TestServePushPrefetch:
+    def _served(self, name, n=256, window=16):
+        store = MemoryProvider(f"{name}-backing")
+        ds = repro.Dataset(store)
+        ds.create_tensor("images", dtype="uint8", max_chunk_size=4096)
+        ds.create_tensor("labels", dtype="int64", max_chunk_size=4096)
+        ds.images.extend(
+            [np.full((32, 32), i % 250, dtype=np.uint8) for i in range(n)]
+        )
+        ds.labels.extend([np.int64(i) for i in range(n)])
+        ds.flush()
+        server = DatasetServer(name=name)
+        server.add_dataset("d", store)
+        transport = SimNetworkTransport(
+            InprocTransport(server), network="s3", clock=SimClock()
+        )
+        client = server.connect("d", tenant="t1", transport=transport)
+        return server, client, window
+
+    def test_sequential_windows_issue_and_hit(self):
+        server, client, w = self._served("push-hit")
+        for i in range(8):
+            client.read_columns(["images", "labels"],
+                                list(range(i * w, (i + 1) * w)))
+            server.drain_prefetch()
+        assert server.prefetch_issued > 0
+        assert server.prefetch_hits > 0
+        assert server.prefetch_wasted == 0
+        # nothing double-counted: every issued chunk is either claimed
+        # by a later window or still outstanding
+        assert server.prefetch_hits <= server.prefetch_issued
+
+    def test_stride_break_counts_waste(self):
+        server, client, w = self._served("push-waste")
+        for i in range(4):
+            client.read_columns(["images", "labels"],
+                                list(range(i * w, (i + 1) * w)))
+            server.drain_prefetch()
+        issued = server.prefetch_issued
+        assert issued > 0
+        # jump far away: outstanding speculative chunks are abandoned
+        client.read_columns(["images", "labels"], [200, 3, 77])
+        server.drain_prefetch()
+        assert server.prefetch_wasted > 0
+        assert server.prefetch_issued == (
+            server.prefetch_hits + server.prefetch_wasted
+        )
+
+    def test_random_access_never_prefetches(self):
+        server, client, _w = self._served("push-random")
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            rows = rng.choice(256, size=8, replace=False).tolist()
+            client.read_columns(["images", "labels"], rows)
+            server.drain_prefetch()
+        assert server.prefetch_issued == 0
+
+    def test_prefetch_disabled_with_read_pipeline_off(self):
+        server, client, w = self._served("push-off")
+        with read_pipeline(enabled=False):
+            for i in range(6):
+                client.read_columns(["images", "labels"],
+                                    list(range(i * w, (i + 1) * w)))
+                server.drain_prefetch()
+        assert server.prefetch_issued == 0
+
+    def test_prefetched_chunks_resident_in_shared_cache(self):
+        server, client, w = self._served("push-resident")
+        for i in range(3):
+            client.read_columns(["images", "labels"],
+                                list(range(i * w, (i + 1) * w)))
+            server.drain_prefetch()
+        with server._prefetch_lock:
+            outstanding = set().union(
+                *(t["outstanding"]
+                  for t in server._prefetch_trackers.values())
+            )
+        assert outstanding
+        mkeys = [f"d\x00{k}" for k in outstanding]
+        assert server.cache.contains_many(mkeys) == set(mkeys)
+
+    def test_fused_columns_match_single_tensor_reads(self):
+        server, client, w = self._served("push-identity", n=64)
+        rows = list(range(10, 30))
+        cols = client.read_columns(["images", "labels"], rows)
+        imgs = client.read_batch("images", rows)
+        labs = client.read_batch("labels", rows)
+        assert_identical(cols["images"], imgs)
+        assert_identical(cols["labels"], labs)
+
+    def test_stats_snapshot_reports_prefetch(self):
+        server, client, w = self._served("push-snap", n=64)
+        client.read_columns(["images", "labels"], list(range(w)))
+        snap = server.stats_snapshot()
+        assert set(snap["prefetch"]) == {"issued", "hits", "wasted"}
+
+
+class TestLoaderPrioritySweep:
+    def test_one_batched_shape_lookup_per_epoch(self, monkeypatch, rng):
+        ds = repro.empty(MemoryProvider("prio"), overwrite=True)
+        ds.create_tensor("x", dtype="float64")
+        for i in range(32):  # ragged: priorities need shape lookups
+            ds.x.append(rng.random(4 + (i % 5)))
+        ds.flush()
+        engine = ds._engine(ds._qualify("x"))
+        calls = []
+        original = type(engine).read_shapes_batch
+
+        def counting(self, rows):
+            calls.append(list(rows))
+            return original(self, rows)
+
+        monkeypatch.setattr(type(engine), "read_shapes_batch", counting)
+        loader = ds.dataloader(batch_size=4, num_workers=2)
+        for _batch in loader:
+            pass
+        sweeps = [c for c in calls if len(c) > 1]
+        assert len(sweeps) == 1  # one whole-epoch sweep, not one per group
